@@ -1,0 +1,110 @@
+// Command experiments runs the paper's §6 evaluation — Figures 7–16 and
+// Table 5 — on a synthetic dataset and prints each result in the same
+// rows/series the paper plots.
+//
+// Usage:
+//
+//	experiments [-users 5000] [-seed 1] [-load ds.bin]
+//	            [-sample 500] [-kmax 200] [-only fig8,fig14,table5]
+//
+// Without -only, every experiment runs. Expect a few minutes at the
+// default scale; use -users 2000 for a quick pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/experiments"
+	"repro/internal/gen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		users  = flag.Int("users", 5000, "number of users to generate")
+		seed   = flag.Uint64("seed", 1, "generator seed")
+		load   = flag.String("load", "", "load a dataset instead of generating")
+		sample = flag.Int("sample", 500, "sampled users per activity class")
+		kmax   = flag.Int("kmax", 200, "maximum daily recommendations")
+		kstep  = flag.Int("kstep", 20, "k sweep step")
+		only   = flag.String("only", "", "comma-separated subset, e.g. fig8,fig14,table5,fig16")
+	)
+	flag.Parse()
+
+	var ds *dataset.Dataset
+	var err error
+	if *load != "" {
+		ds, err = dataset.LoadFile(*load)
+	} else {
+		fmt.Fprintf(os.Stderr, "# generating %d-user dataset (seed %d)...\n", *users, *seed)
+		ds, err = gen.Generate(gen.DefaultConfig(*users, *seed))
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "# dataset: %d users, %d tweets, %d retweets\n",
+		ds.NumUsers(), ds.NumTweets(), ds.NumActions())
+
+	opts := eval.DefaultOptions()
+	opts.Seed = *seed
+	opts.SamplePerClass = *sample
+	opts.KMax = *kmax
+	opts.KStep = *kstep
+	suite := experiments.NewSuite(ds, opts)
+
+	want := map[string]bool{}
+	for _, s := range strings.Split(*only, ",") {
+		if s = strings.TrimSpace(strings.ToLower(s)); s != "" {
+			want[s] = true
+		}
+	}
+	sel := func(name string) bool { return len(want) == 0 || want[name] }
+
+	type experiment struct {
+		name string
+		run  func() (string, error)
+	}
+	exps := []experiment{
+		{"fig7", suite.Figure7},
+		{"fig8", suite.Figure8},
+		{"fig9", suite.Figure9},
+		{"fig10", suite.Figure10},
+		{"fig11", suite.Figure11},
+		{"fig12", suite.Figure12},
+		{"fig13", suite.Figure13},
+		{"fig14", suite.Figure14},
+		{"table5", suite.Table5},
+		{"fig15", suite.Figure15},
+		{"fig16", suite.Figure16},
+	}
+
+	needReplay := false
+	for _, e := range exps {
+		if sel(e.name) && e.name != "fig16" {
+			needReplay = true
+		}
+	}
+	if needReplay {
+		if err := suite.EnsureRuns(os.Stderr); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, e := range exps {
+		if !sel(e.name) {
+			continue
+		}
+		out, err := e.run()
+		if err != nil {
+			log.Fatalf("%s: %v", e.name, err)
+		}
+		fmt.Println(out)
+	}
+}

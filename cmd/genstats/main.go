@@ -1,0 +1,107 @@
+// Command genstats generates (or loads) a synthetic microblogging dataset
+// and prints the paper's §3 analysis: Table 1 (dataset features), Figures
+// 1–4 (path, retweet, lifetime distributions) and Tables 2–3 (homophily).
+//
+// Usage:
+//
+//	genstats [-users 5000] [-seed 1] [-save ds.bin | -load ds.bin]
+//	         [-table1] [-fig1] [-fig2] [-fig3] [-fig4] [-table2] [-table3]
+//
+// With no selection flags, everything is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/experiments"
+	"repro/internal/gen"
+	"repro/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("genstats: ")
+
+	var (
+		users   = flag.Int("users", 5000, "number of users to generate")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		save    = flag.String("save", "", "write the generated dataset to this file")
+		load    = flag.String("load", "", "load a dataset instead of generating")
+		samples = flag.Int("samples", 64, "BFS sources for path statistics")
+		hSample = flag.Int("homophily-sample", 500, "users sampled for Tables 2-3")
+
+		table1 = flag.Bool("table1", false, "print Table 1")
+		fig1   = flag.Bool("fig1", false, "print Figure 1")
+		fig2   = flag.Bool("fig2", false, "print Figure 2")
+		fig3   = flag.Bool("fig3", false, "print Figure 3")
+		fig4   = flag.Bool("fig4", false, "print Figure 4")
+		table2 = flag.Bool("table2", false, "print Table 2")
+		table3 = flag.Bool("table3", false, "print Table 3")
+	)
+	flag.Parse()
+
+	all := !(*table1 || *fig1 || *fig2 || *fig3 || *fig4 || *table2 || *table3)
+
+	var ds *dataset.Dataset
+	var err error
+	if *load != "" {
+		ds, err = dataset.LoadFile(*load)
+		if err != nil {
+			log.Fatalf("loading %s: %v", *load, err)
+		}
+	} else {
+		ds, err = gen.Generate(gen.DefaultConfig(*users, *seed))
+		if err != nil {
+			log.Fatalf("generating: %v", err)
+		}
+	}
+	if *save != "" {
+		if err := ds.SaveFile(*save); err != nil {
+			log.Fatalf("saving %s: %v", *save, err)
+		}
+		fmt.Printf("# dataset saved to %s\n", *save)
+	}
+
+	opts := eval.DefaultOptions()
+	opts.Seed = *seed
+	suite := experiments.NewSuite(ds, opts)
+
+	if all || *table1 {
+		fmt.Println(suite.Table1(*samples))
+	}
+	if all || *fig1 {
+		fmt.Println(suite.Figure1(*samples))
+	}
+	if all || *fig2 {
+		fmt.Println(suite.Figure2())
+	}
+	if all || *fig3 {
+		fmt.Println(suite.Figure3())
+	}
+	if all || *fig4 {
+		fmt.Println(suite.Figure4())
+	}
+	hc := stats.DefaultHomophilyConfig()
+	hc.SampleSize = *hSample
+	hc.Seed = *seed
+	if all || *table2 {
+		out, err := suite.Table2(hc)
+		if err != nil {
+			log.Fatalf("table2: %v", err)
+		}
+		fmt.Println(out)
+	}
+	if all || *table3 {
+		out, err := suite.Table3(hc)
+		if err != nil {
+			log.Fatalf("table3: %v", err)
+		}
+		fmt.Println(out)
+	}
+	_ = os.Stdout
+}

@@ -1,0 +1,117 @@
+// Command simgraphctl builds the similarity graph over a dataset and
+// reports its structure (Table 4, Figure 5), or runs a single propagation
+// to show the §5 algorithm at work.
+//
+// Usage:
+//
+//	simgraphctl [-users 5000] [-seed 1] [-load ds.bin] [-tau 0.02]
+//	            [-table4] [-fig5] [-propagate tweetID]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/experiments"
+	"repro/internal/gen"
+	"repro/internal/ids"
+	"repro/internal/propagation"
+	"repro/internal/simgraph"
+	"repro/internal/similarity"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("simgraphctl: ")
+
+	var (
+		users     = flag.Int("users", 5000, "number of users to generate")
+		seed      = flag.Uint64("seed", 1, "generator seed")
+		load      = flag.String("load", "", "load a dataset instead of generating")
+		tau       = flag.Float64("tau", simgraph.DefaultConfig().Tau, "similarity threshold")
+		samples   = flag.Int("samples", 64, "BFS sources for path statistics")
+		table4    = flag.Bool("table4", false, "print Table 4")
+		fig5      = flag.Bool("fig5", false, "print Figure 5")
+		propTweet = flag.Int("propagate", -1, "propagate the sharers of this tweet and print the top scores")
+	)
+	flag.Parse()
+	all := !(*table4 || *fig5 || *propTweet >= 0)
+
+	var ds *dataset.Dataset
+	var err error
+	if *load != "" {
+		ds, err = dataset.LoadFile(*load)
+	} else {
+		ds, err = gen.Generate(gen.DefaultConfig(*users, *seed))
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := eval.DefaultOptions()
+	opts.Seed = *seed
+	suite := experiments.NewSuite(ds, opts)
+	suite.SimGraphCfg.Graph.Tau = *tau
+
+	if all || *table4 {
+		out, err := suite.Table4(*samples)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(out)
+	}
+	if all || *fig5 {
+		out, err := suite.Figure5(*samples)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(out)
+	}
+	if *propTweet >= 0 {
+		runPropagation(ds, ids.TweetID(*propTweet), *tau)
+	}
+}
+
+// runPropagation builds the graph, seeds the propagation with the tweet's
+// actual sharers and prints the top predicted users.
+func runPropagation(ds *dataset.Dataset, t ids.TweetID, tau float64) {
+	if int(t) >= ds.NumTweets() {
+		log.Fatalf("tweet %d out of range (%d tweets)", t, ds.NumTweets())
+	}
+	store := similarity.NewStore(ds.NumUsers(), ds.NumTweets(), ds.Actions)
+	cfg := simgraph.DefaultConfig()
+	cfg.Tau = tau
+	g := simgraph.Build(ds.Graph, store, cfg)
+
+	var seeds []ids.UserID
+	seeds = append(seeds, ds.Tweets[t].Author)
+	for _, a := range ds.Actions {
+		if a.Tweet == t {
+			seeds = append(seeds, a.User)
+		}
+	}
+	prop := propagation.New(g, propagation.DefaultConfig())
+	res := prop.Propagate(seeds, len(seeds))
+	fmt.Printf("tweet %d: %d sharers, propagation reached %d users in %d rounds\n",
+		t, len(seeds), res.Len(), prop.LastIterations())
+
+	type scored struct {
+		u ids.UserID
+		s float64
+	}
+	top := make([]scored, 0, res.Len())
+	for i, u := range res.Users {
+		top = append(top, scored{u, res.Scores[i]})
+	}
+	sort.Slice(top, func(i, j int) bool { return top[i].s > top[j].s })
+	if len(top) > 15 {
+		top = top[:15]
+	}
+	for _, sc := range top {
+		fmt.Printf("  user %-8d p=%.5f\n", sc.u, sc.s)
+	}
+}

@@ -1,0 +1,316 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/bubbles"
+
+	"repro/internal/dataset"
+	"repro/internal/ids"
+	"repro/internal/propagation"
+	"repro/internal/recsys"
+	"repro/internal/simgraph"
+	"repro/internal/similarity"
+)
+
+// Recommendation is one ranked suggestion: a tweet and the predicted
+// probability that the user would share it.
+type Recommendation struct {
+	Tweet TweetID
+	Score float64
+}
+
+// UpdateStrategy selects how RefreshGraph maintains the similarity graph
+// (§6.3 of the paper).
+type UpdateStrategy = simgraph.UpdateStrategy
+
+// Update strategies, re-exported from the engine package.
+const (
+	UpdateFromScratch = simgraph.FromScratch
+	UpdateKeepOld     = simgraph.KeepOld
+	UpdateCrossfold   = simgraph.Crossfold
+	UpdateWeights     = simgraph.UpdateWeights
+)
+
+// EngineOptions configures an Engine. The zero value is NOT valid; start
+// from DefaultEngineOptions.
+type EngineOptions struct {
+	// Train is the action log the profiles and similarity graph are built
+	// from. Nil uses the dataset's whole log.
+	Train []Action
+	// Tau is the similarity threshold τ for graph edges.
+	Tau float64
+	// Hops is the exploration radius (paper: 2).
+	Hops int
+	// MaxNeighborhood caps the per-user 2-hop exploration (0 = unlimited).
+	MaxNeighborhood int
+	// DynamicThreshold enables the popularity-driven propagation cutoff
+	// γ(t); otherwise StaticBeta is used.
+	DynamicThreshold bool
+	// StaticBeta is the fixed propagation threshold β.
+	StaticBeta float64
+	// Postpone batches propagations on the adaptive time-frame schedule.
+	Postpone bool
+	// MaxAge is the recommendation freshness horizon (paper: 72 h).
+	MaxAge Timestamp
+	// TrackUsers limits recommendation state to these users; nil tracks
+	// everyone (costs one candidate map per user).
+	TrackUsers []UserID
+	// TopicAlpha blends topic-engagement similarity into Definition 3.1
+	// (the paper's §7 "topic tweets" future work): 0 disables, 1 uses
+	// topics only. Helps small users whose profiles rarely overlap.
+	TopicAlpha float64
+	// ColdStartFallback serves users absent from the similarity graph by
+	// aggregating their followees' recommendations — the GraphJet-style
+	// neighbourhood workaround the paper sketches in §4.1.
+	ColdStartFallback bool
+}
+
+// DefaultEngineOptions returns the configuration used in the paper's
+// experiments.
+func DefaultEngineOptions() EngineOptions {
+	return EngineOptions{
+		Tau:               simgraph.DefaultConfig().Tau,
+		Hops:              2,
+		MaxNeighborhood:   simgraph.DefaultConfig().MaxNeighborhood,
+		DynamicThreshold:  true,
+		StaticBeta:        1e-6,
+		MaxAge:            72 * Hour,
+		ColdStartFallback: true,
+	}
+}
+
+// Engine is the public entry point to the paper's system: it owns the
+// retweet profiles, the similarity graph, and the propagation
+// recommender, and keeps all three consistent as retweets stream in.
+// Engine is not safe for concurrent use.
+type Engine struct {
+	ds    *Dataset
+	opts  EngineOptions
+	store *similarity.Store
+	rec   *simgraph.Recommender
+	ctx   *recsys.Context
+	// observed accumulates the streamed actions so RefreshGraph can
+	// rebuild profiles.
+	observed []Action
+}
+
+// NewEngine trains an engine on the dataset: builds profiles from the
+// training log and constructs the similarity graph.
+func NewEngine(ds *Dataset, opts EngineOptions) (*Engine, error) {
+	if opts.MaxAge <= 0 {
+		opts.MaxAge = 72 * Hour
+	}
+	if opts.Hops <= 0 {
+		opts.Hops = 2
+	}
+	if opts.Tau < 0 || opts.Tau > 1 {
+		return nil, fmt.Errorf("repro: Tau %v out of [0,1]", opts.Tau)
+	}
+	train := opts.Train
+	if train == nil {
+		train = ds.Actions
+	}
+	tracked := opts.TrackUsers
+	if tracked == nil {
+		tracked = make([]UserID, ds.NumUsers())
+		for u := range tracked {
+			tracked[u] = UserID(u)
+		}
+	}
+
+	e := &Engine{ds: ds, opts: opts}
+	e.store = similarity.NewStore(ds.NumUsers(), ds.NumTweets(), train)
+	if opts.TopicAlpha > 0 {
+		e.store.EnableTopics(func(t TweetID) int16 { return ds.Tweets[t].Topic }, opts.TopicAlpha)
+	}
+	e.ctx = &recsys.Context{
+		Dataset: ds,
+		Train:   train,
+		Store:   e.store,
+		Tracked: tracked,
+		MaxAge:  opts.MaxAge,
+		Seed:    1,
+	}
+	rcfg := e.recommenderConfig()
+	e.rec = simgraph.NewRecommender(rcfg)
+	if err := e.rec.Init(e.ctx); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (e *Engine) recommenderConfig() simgraph.RecommenderConfig {
+	rcfg := simgraph.DefaultRecommenderConfig()
+	rcfg.Graph.Tau = e.opts.Tau
+	rcfg.Graph.Hops = e.opts.Hops
+	rcfg.Graph.MaxNeighborhood = e.opts.MaxNeighborhood
+	if e.opts.DynamicThreshold {
+		rcfg.Prop.Threshold = propagation.NewDynamicThreshold()
+	} else {
+		rcfg.Prop.Threshold = propagation.StaticThreshold(e.opts.StaticBeta)
+	}
+	rcfg.Postpone = e.opts.Postpone
+	return rcfg
+}
+
+// Observe streams one retweet into the engine: it updates the user's
+// profile, re-propagates the tweet's share probabilities over the
+// similarity graph, and refreshes candidate pools.
+func (e *Engine) Observe(u UserID, t TweetID, at Timestamp) error {
+	if err := validateIDs(e.ds, u, t); err != nil {
+		return err
+	}
+	a := Action{User: u, Tweet: t, Time: at}
+	e.observed = append(e.observed, a)
+	e.store.Observe(u, t)
+	e.rec.Observe(a)
+	return nil
+}
+
+// Recommend returns up to k fresh recommendations for u at time now,
+// highest predicted share probability first.
+func (e *Engine) Recommend(u UserID, k int, now Timestamp) []Recommendation {
+	if int(u) >= e.ds.NumUsers() || k <= 0 {
+		return nil
+	}
+	scored := e.rec.Recommend(u, k, now)
+	if len(scored) == 0 && e.opts.ColdStartFallback {
+		return e.coldStartRecommend(u, k, now)
+	}
+	out := make([]Recommendation, len(scored))
+	for i, s := range scored {
+		out[i] = Recommendation{Tweet: s.Tweet, Score: s.Score}
+	}
+	return out
+}
+
+// coldStartRecommend aggregates the followees' candidate lists, averaging
+// scores so tweets endorsed by several followees rank first. Tweets the
+// user already shared are excluded by each followee pool individually;
+// the user's own shares are unknown to the engine only if never observed.
+func (e *Engine) coldStartRecommend(u UserID, k int, now Timestamp) []Recommendation {
+	followees := e.ds.Graph.Out(u)
+	if len(followees) == 0 {
+		return nil
+	}
+	agg := make(map[TweetID]float64)
+	for _, v := range followees {
+		for _, r := range e.rec.Recommend(v, k, now) {
+			agg[r.Tweet] += r.Score
+		}
+	}
+	if len(agg) == 0 {
+		return nil
+	}
+	inv := 1 / float64(len(followees))
+	top := recsys.NewTopK(k)
+	for t, sum := range agg {
+		top.Offer(t, sum*inv)
+	}
+	ranked := top.Ranked()
+	out := make([]Recommendation, len(ranked))
+	for i, r := range ranked {
+		out[i] = Recommendation{Tweet: r.Tweet, Score: r.Score}
+	}
+	return out
+}
+
+// PropagateScores runs one propagation for a hypothetical tweet shared by
+// seeds and returns every reached user with its predicted probability.
+// It exposes the raw §5 algorithm for analysis and tooling.
+func (e *Engine) PropagateScores(seeds []UserID) map[UserID]float64 {
+	prop := propagation.New(e.rec.Graph(), propagation.DefaultConfig())
+	res := prop.Propagate(seeds, len(seeds))
+	out := make(map[UserID]float64, res.Len())
+	for i, u := range res.Users {
+		out[u] = res.Scores[i]
+	}
+	return out
+}
+
+// GraphCharacteristics measures the current similarity graph (Table 4).
+func (e *Engine) GraphCharacteristics(pathSamples int) simgraph.Characteristics {
+	g := e.rec.Graph()
+	var srcs []UserID
+	for u := 0; u < g.NumNodes() && len(srcs) < pathSamples; u++ {
+		if g.OutDegree(UserID(u)) > 0 {
+			srcs = append(srcs, UserID(u))
+		}
+	}
+	return simgraph.Measure(g, srcs)
+}
+
+// Similarity returns sim(u, v) under the engine's current profiles.
+func (e *Engine) Similarity(u, v UserID) float64 { return e.store.Sim(u, v) }
+
+// RefreshGraph rebuilds or repairs the similarity graph with one of the
+// paper's §6.3 strategies, folding in every action observed since
+// construction. The recommender keeps its pooled candidates.
+func (e *Engine) RefreshGraph(strategy UpdateStrategy) {
+	g := simgraph.Update(strategy, e.rec.Graph(), e.ds.Graph, e.store, e.recommenderConfig().Graph)
+	rec := simgraph.NewRecommender(e.recommenderConfig())
+	rec.InitWithGraph(e.ctx, g)
+	// Re-observe the streamed actions so seeds/pools carry over.
+	for _, a := range e.observed {
+		rec.Observe(a)
+	}
+	e.rec = rec
+}
+
+// ObservedActions returns a copy of the actions streamed in so far.
+func (e *Engine) ObservedActions() []Action {
+	out := make([]Action, len(e.observed))
+	copy(out, e.observed)
+	return out
+}
+
+// Dataset returns the engine's dataset.
+func (e *Engine) Dataset() *Dataset { return e.ds }
+
+var _ = dataset.SortActions // keep the dataset import for the type aliases
+
+// ColdStartUsers returns the users absent from the similarity graph —
+// those with no retweet in the training log or no sufficiently similar
+// neighbour (the paper's cold-start cohort, §4.1).
+func (e *Engine) ColdStartUsers() []UserID {
+	g := e.rec.Graph()
+	var out []UserID
+	for u := 0; u < g.NumNodes(); u++ {
+		if g.OutDegree(ids.UserID(u)) == 0 && g.InDegree(ids.UserID(u)) == 0 {
+			out = append(out, UserID(u))
+		}
+	}
+	return out
+}
+
+// BubbleAssignment maps users to information bubbles — densely connected
+// regions of the similarity graph (§7 future work).
+type BubbleAssignment = bubbles.Assignment
+
+// DetectBubbles identifies information bubbles in the current similarity
+// graph with label propagation and returns the assignment plus its
+// weighted modularity (higher = stronger bubble structure).
+func (e *Engine) DetectBubbles() (*BubbleAssignment, float64) {
+	a := bubbles.Detect(e.rec.Graph(), bubbles.DefaultConfig())
+	return a, bubbles.Modularity(e.rec.Graph(), a)
+}
+
+// RecommendDiverse is Recommend with bubble-escape re-ranking: no single
+// bubble may hold more than maxBubbleShare of the top-k, so users see
+// content from outside their information locality whenever any exists.
+func (e *Engine) RecommendDiverse(a *BubbleAssignment, u UserID, k int, now Timestamp, maxBubbleShare float64) []Recommendation {
+	if int(u) >= e.ds.NumUsers() || k <= 0 {
+		return nil
+	}
+	d := bubbles.NewDiversifier(e.rec, a, func(t TweetID) UserID { return e.ds.Tweets[t].Author })
+	if maxBubbleShare > 0 {
+		d.MaxBubbleShare = maxBubbleShare
+	}
+	scored := d.Recommend(u, k, now)
+	out := make([]Recommendation, len(scored))
+	for i, s := range scored {
+		out[i] = Recommendation{Tweet: s.Tweet, Score: s.Score}
+	}
+	return out
+}

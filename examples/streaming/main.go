@@ -1,0 +1,85 @@
+// Streaming: drive the SimGraph engine like a live service. The test
+// window is replayed hour by hour; every retweet propagates immediately,
+// and once per simulated day the example prints a small "timeline digest"
+// for a monitored user — the freshest high-probability posts the engine
+// would push.
+//
+// The example also demonstrates the postponed-computation optimization
+// (§5.4): run with -postpone to batch propagations on the adaptive
+// time-frame schedule and compare the work counters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	postpone := flag.Bool("postpone", false, "batch propagations on the δ time-frame schedule")
+	users := flag.Int("users", 3000, "dataset size")
+	flag.Parse()
+
+	ds, err := repro.GenerateDataset(repro.DatasetOptions{Users: *users, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test, err := repro.SplitDataset(ds, 0.9)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := repro.DefaultEngineOptions()
+	opts.Train = train
+	opts.Postpone = *postpone
+	eng, err := repro.NewEngine(ds, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Monitor the most active sampled user so the digest is non-empty.
+	monitored := mostActiveUser(train)
+	fmt.Printf("monitoring user %d (postpone=%v)\n\n", monitored, *postpone)
+
+	day := test[0].Time / repro.Day
+	observed := 0
+	for _, a := range test {
+		if d := a.Time / repro.Day; d != day {
+			day = d
+			digest(eng, ds, monitored, a.Time)
+		}
+		if err := eng.Observe(a.User, a.Tweet, a.Time); err != nil {
+			log.Fatal(err)
+		}
+		observed++
+	}
+	fmt.Printf("\nstreamed %d retweets across %d simulated days\n",
+		observed, int(test[len(test)-1].Time/repro.Day-test[0].Time/repro.Day)+1)
+}
+
+// digest prints the monitored user's current top recommendations.
+func digest(eng *repro.Engine, ds *repro.Dataset, u repro.UserID, now repro.Timestamp) {
+	recs := eng.Recommend(u, 5, now)
+	fmt.Printf("day %3d — digest for user %d (%d items)\n", now/repro.Day, u, len(recs))
+	for i, r := range recs {
+		t := ds.Tweets[r.Tweet]
+		fmt.Printf("   %d. tweet %-7d author=%-5d age=%-12v p=%.4f\n",
+			i+1, r.Tweet, t.Author, now-t.Time, r.Score)
+	}
+}
+
+// mostActiveUser returns the user with the most actions in the log.
+func mostActiveUser(actions []repro.Action) repro.UserID {
+	counts := map[repro.UserID]int{}
+	best, bestN := repro.UserID(0), -1
+	for _, a := range actions {
+		counts[a.User]++
+		if counts[a.User] > bestN {
+			best, bestN = a.User, counts[a.User]
+		}
+	}
+	return best
+}

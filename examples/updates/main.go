@@ -1,0 +1,65 @@
+// Updates: compare the four §6.3 similarity-graph maintenance strategies
+// on a live engine. The engine is trained at the 90 % mark; the next 5 %
+// of the log is streamed in; then each strategy refreshes the graph and
+// the example reports how the graph changed and what it costs, mirroring
+// the trade-off behind Figure 16 (crossfold ≈ from-scratch quality at a
+// fraction of the cost).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	ds, err := repro.GenerateDataset(repro.DatasetOptions{Users: 3000, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test, err := repro.SplitDataset(ds, 0.9)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	strategies := []repro.UpdateStrategy{
+		repro.UpdateFromScratch,
+		repro.UpdateKeepOld,
+		repro.UpdateCrossfold,
+		repro.UpdateWeights,
+	}
+
+	for _, strategy := range strategies {
+		opts := repro.DefaultEngineOptions()
+		opts.Train = train
+		eng, err := repro.NewEngine(ds, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		before := eng.GraphCharacteristics(0)
+
+		// Reveal the 90–95 % window.
+		half := len(test) / 2
+		for _, a := range test[:half] {
+			if err := eng.Observe(a.User, a.Tweet, a.Time); err != nil {
+				log.Fatal(err)
+			}
+		}
+
+		t0 := time.Now()
+		eng.RefreshGraph(strategy)
+		elapsed := time.Since(t0)
+		after := eng.GraphCharacteristics(0)
+
+		fmt.Printf("%-18s %8v   edges %7d -> %7d   nodes %6d -> %6d   mean sim %.4f -> %.4f\n",
+			strategy, elapsed.Round(time.Millisecond),
+			before.Edges, after.Edges, before.Nodes, after.Nodes,
+			before.MeanSim, after.MeanSim)
+	}
+
+	fmt.Println("\nFigure 16's full hit-count comparison: go run ./cmd/experiments -only fig16")
+}

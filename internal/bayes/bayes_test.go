@@ -1,0 +1,140 @@
+package bayes
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/ids"
+	"repro/internal/recsys"
+)
+
+// chainCtx: follow chain 2→1→0 (2 follows 1, 1 follows 0), all with
+// training profiles so trusts are non-zero. Tracked: users 1 and 2.
+func chainCtx(trustP, priorK float64) (*recsys.Context, *Recommender) {
+	b := graph.NewBuilder(3, 2)
+	b.SetNumNodes(3)
+	b.AddEdge(1, 0)
+	b.AddEdge(2, 1)
+	g := b.Build()
+	train := []dataset.Action{
+		{User: 0, Tweet: 0, Time: 1},
+		{User: 1, Tweet: 0, Time: 2},
+		{User: 2, Tweet: 0, Time: 3},
+		{User: 0, Tweet: 1, Time: 4},
+		{User: 1, Tweet: 1, Time: 5},
+		{User: 2, Tweet: 1, Time: 6},
+	}
+	ds := &dataset.Dataset{Graph: g, Tweets: make([]dataset.Tweet, 10), Actions: train}
+	ctx := recsys.NewContext(ds, train, []ids.UserID{1, 2}, 1)
+	r := New(Config{Threshold: 1e-4, MaxDepth: 3, TrustP: trustP, PriorK: priorK})
+	if err := r.Init(ctx); err != nil {
+		panic(err)
+	}
+	return ctx, r
+}
+
+func TestTrustValues(t *testing.T) {
+	_, r := chainCtx(0.4, 2)
+	// Each user has 2 training retweets → prior = 2/(2+2) = 0.5, trust =
+	// 0.4 × 0.5 = 0.2 on every followee edge.
+	if tr := r.trustFor(1, 0); math.Abs(float64(tr)-0.2) > 1e-6 {
+		t.Errorf("trust(1→0) = %v, want 0.2", tr)
+	}
+	if tr := r.trustFor(2, 1); math.Abs(float64(tr)-0.2) > 1e-6 {
+		t.Errorf("trust(2→1) = %v, want 0.2", tr)
+	}
+	// No follow edge → no trust.
+	if tr := r.trustFor(0, 2); tr != 0 {
+		t.Errorf("trust(0→2) = %v, want 0", tr)
+	}
+}
+
+func TestPosteriorPropagation(t *testing.T) {
+	_, r := chainCtx(0.4, 2)
+	// User 0 shares tweet 5 (author is tweets[5].Author = 0 by zero
+	// value, so the author-seed coincides with the sharer).
+	r.Observe(dataset.Action{User: 0, Tweet: 5, Time: 10})
+	// Follower 1: p = trust × 1 = 0.2. Follower-of-follower 2:
+	// p = trust × 0.2 = 0.04.
+	recs1 := r.Recommend(1, 5, 11)
+	if len(recs1) != 1 || math.Abs(recs1[0].Score-0.2) > 1e-6 {
+		t.Fatalf("user 1 recs = %+v, want score 0.2", recs1)
+	}
+	recs2 := r.Recommend(2, 5, 11)
+	if len(recs2) != 1 || math.Abs(recs2[0].Score-0.04) > 1e-6 {
+		t.Fatalf("user 2 recs = %+v, want score 0.04", recs2)
+	}
+}
+
+func TestNoisyORAccumulation(t *testing.T) {
+	// User 2 follows both 0 and 1; both share → noisy-OR combines.
+	b := graph.NewBuilder(3, 2)
+	b.SetNumNodes(3)
+	b.AddEdge(2, 0)
+	b.AddEdge(2, 1)
+	g := b.Build()
+	train := []dataset.Action{
+		{User: 0, Tweet: 0, Time: 1}, {User: 1, Tweet: 0, Time: 2}, {User: 2, Tweet: 0, Time: 3},
+		{User: 0, Tweet: 1, Time: 4}, {User: 1, Tweet: 1, Time: 5}, {User: 2, Tweet: 1, Time: 6},
+	}
+	ds := &dataset.Dataset{Graph: g, Tweets: make([]dataset.Tweet, 10), Actions: train}
+	ctx := recsys.NewContext(ds, train, []ids.UserID{2}, 1)
+	r := New(Config{Threshold: 1e-4, MaxDepth: 2, TrustP: 0.4, PriorK: 2})
+	if err := r.Init(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// tweets[5].Author = 0, so the first Observe seeds the author (0)
+	// and then user 1's share adds independent evidence.
+	r.Observe(dataset.Action{User: 1, Tweet: 5, Time: 10})
+	recs := r.Recommend(2, 5, 11)
+	// p = 1 − (1−0.2)(1−0.2) = 0.36.
+	if len(recs) != 1 || math.Abs(recs[0].Score-0.36) > 1e-6 {
+		t.Fatalf("recs = %+v, want 0.36", recs)
+	}
+}
+
+func TestThresholdStopsPropagation(t *testing.T) {
+	_, r := chainCtx(0.4, 2)
+	r.cfg.Threshold = 0.1 // second hop delta 0.04 < 0.1 must be cut
+	r.Observe(dataset.Action{User: 0, Tweet: 5, Time: 10})
+	if recs := r.Recommend(2, 5, 11); len(recs) != 0 {
+		t.Fatalf("threshold failed to stop second hop: %+v", recs)
+	}
+	if recs := r.Recommend(1, 5, 11); len(recs) != 1 {
+		t.Fatalf("first hop lost: %+v", recs)
+	}
+}
+
+func TestSharerNotRecommended(t *testing.T) {
+	_, r := chainCtx(0.4, 2)
+	r.Observe(dataset.Action{User: 0, Tweet: 5, Time: 10})
+	r.Observe(dataset.Action{User: 1, Tweet: 5, Time: 11})
+	if recs := r.Recommend(1, 5, 12); len(recs) != 0 {
+		t.Fatalf("sharer still recommended their own share: %+v", recs)
+	}
+}
+
+func TestEvictionDropsOldPosteriors(t *testing.T) {
+	ctx, r := chainCtx(0.4, 2)
+	r.Observe(dataset.Action{User: 0, Tweet: 5, Time: 10})
+	if len(r.posts) != 1 {
+		t.Fatalf("posts = %d", len(r.posts))
+	}
+	// An action far in the future evicts tweet 5's state (published at 0).
+	r.Observe(dataset.Action{User: 0, Tweet: 6, Time: ctx.MaxAge + 100})
+	if _, alive := r.posts[5]; alive {
+		t.Error("expired posterior state not evicted")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	r := New(Config{})
+	if r.cfg.Threshold <= 0 || r.cfg.MaxDepth <= 0 || r.cfg.TrustP <= 0 || r.cfg.PriorK <= 0 {
+		t.Errorf("defaults not applied: %+v", r.cfg)
+	}
+	if r.Name() != "Bayes" {
+		t.Error("name")
+	}
+}

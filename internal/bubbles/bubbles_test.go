@@ -1,0 +1,172 @@
+package bubbles
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/ids"
+	"repro/internal/recsys"
+	"repro/internal/wgraph"
+)
+
+// twoCliques builds a similarity graph with two dense cliques {0,1,2} and
+// {3,4,5} connected by one weak bridge, plus an isolated node 6.
+func twoCliques() *wgraph.Graph {
+	b := wgraph.NewBuilder(7, 16)
+	b.SetNumNodes(7)
+	clique := func(members []ids.UserID) {
+		for _, u := range members {
+			for _, v := range members {
+				if u != v {
+					b.AddEdge(u, v, 0.8)
+				}
+			}
+		}
+	}
+	clique([]ids.UserID{0, 1, 2})
+	clique([]ids.UserID{3, 4, 5})
+	b.AddEdge(2, 3, 0.05) // weak bridge
+	return b.Build()
+}
+
+func TestDetectFindsCliques(t *testing.T) {
+	g := twoCliques()
+	a := Detect(g, DefaultConfig())
+	if a.NumBubbles() != 2 {
+		t.Fatalf("found %d bubbles, want 2 (sizes %v)", a.NumBubbles(), a.Sizes)
+	}
+	if a.Of(0) != a.Of(1) || a.Of(1) != a.Of(2) {
+		t.Errorf("clique {0,1,2} split: %v %v %v", a.Of(0), a.Of(1), a.Of(2))
+	}
+	if a.Of(3) != a.Of(4) || a.Of(4) != a.Of(5) {
+		t.Errorf("clique {3,4,5} split")
+	}
+	if a.Of(0) == a.Of(3) {
+		t.Error("cliques merged across the weak bridge")
+	}
+	if a.Of(6) != NoBubble {
+		t.Errorf("isolated node assigned to bubble %d", a.Of(6))
+	}
+	if a.Of(ids.UserID(99)) != NoBubble {
+		t.Error("out-of-range user should be NoBubble")
+	}
+	// Members round-trips.
+	m := a.Members(a.Of(0))
+	if len(m) != 3 {
+		t.Errorf("Members = %v", m)
+	}
+}
+
+func TestDetectDeterministic(t *testing.T) {
+	g := twoCliques()
+	a := Detect(g, DefaultConfig())
+	b := Detect(g, DefaultConfig())
+	for u := range a.Label {
+		if a.Label[u] != b.Label[u] {
+			t.Fatal("detection not deterministic")
+		}
+	}
+}
+
+func TestModularity(t *testing.T) {
+	g := twoCliques()
+	good := Detect(g, DefaultConfig())
+	qGood := Modularity(g, good)
+	if qGood <= 0.3 {
+		t.Errorf("clique modularity %v, want clearly positive", qGood)
+	}
+	// Everything in one bubble: modularity ≈ 0 (all weight internal, but
+	// expectation too).
+	one := &Assignment{Label: make([]int32, 7), Sizes: []int32{7}}
+	if q := Modularity(g, one); q > 0.05 {
+		t.Errorf("single-bubble modularity %v, want ≈0", q)
+	}
+}
+
+func TestLocality(t *testing.T) {
+	g := twoCliques()
+	a := Detect(g, DefaultConfig())
+	// All authors in user 0's own bubble.
+	rep := Locality(a, 0, []ids.UserID{1, 2, 1})
+	if rep.SameBubble != 1 || rep.DistinctBubbles != 1 {
+		t.Errorf("report %+v", rep)
+	}
+	// Half foreign.
+	rep = Locality(a, 0, []ids.UserID{1, 4})
+	if rep.SameBubble != 0.5 || rep.DistinctBubbles != 2 {
+		t.Errorf("report %+v", rep)
+	}
+	if rep = Locality(a, 0, nil); rep.SameBubble != 0 {
+		t.Errorf("empty report %+v", rep)
+	}
+}
+
+// stubRec returns a fixed ranked list.
+type stubRec struct{ list []recsys.ScoredTweet }
+
+func (s *stubRec) Name() string               { return "stub" }
+func (s *stubRec) Init(*recsys.Context) error { return nil }
+func (s *stubRec) Observe(dataset.Action)     {}
+func (s *stubRec) Recommend(u ids.UserID, k int, now ids.Timestamp) []recsys.ScoredTweet {
+	if len(s.list) > k {
+		return s.list[:k]
+	}
+	return s.list
+}
+
+func TestDiversifierCapsBubbleShare(t *testing.T) {
+	g := twoCliques()
+	a := Detect(g, DefaultConfig())
+	// Tweets 0..5 authored by users 0..5: first three from bubble of 0.
+	authors := []ids.UserID{0, 1, 2, 3, 4, 5}
+	base := &stubRec{list: []recsys.ScoredTweet{
+		{Tweet: 0, Score: 9}, {Tweet: 1, Score: 8}, {Tweet: 2, Score: 7},
+		{Tweet: 3, Score: 6}, {Tweet: 4, Score: 5}, {Tweet: 5, Score: 4},
+	}}
+	d := NewDiversifier(base, a, func(t ids.TweetID) ids.UserID { return authors[t] })
+	d.MaxBubbleShare = 0.5
+
+	got := d.Recommend(0, 4, 0)
+	if len(got) != 4 {
+		t.Fatalf("got %d recs", len(got))
+	}
+	counts := map[int32]int{}
+	for _, r := range got {
+		counts[a.Of(authors[r.Tweet])]++
+	}
+	for b, c := range counts {
+		if c > 2 {
+			t.Errorf("bubble %d holds %d of 4 slots (cap 2)", b, c)
+		}
+	}
+	// The top item must survive re-ranking.
+	if got[0].Tweet != 0 {
+		t.Errorf("top item displaced: %+v", got[0])
+	}
+}
+
+func TestDiversifierFillsWhenNoDiversity(t *testing.T) {
+	g := twoCliques()
+	a := Detect(g, DefaultConfig())
+	authors := []ids.UserID{0, 1, 2, 0, 1, 2}
+	base := &stubRec{list: []recsys.ScoredTweet{
+		{Tweet: 0, Score: 9}, {Tweet: 1, Score: 8}, {Tweet: 2, Score: 7},
+		{Tweet: 3, Score: 6}, {Tweet: 4, Score: 5}, {Tweet: 5, Score: 4},
+	}}
+	d := NewDiversifier(base, a, func(t ids.TweetID) ids.UserID { return authors[t] })
+	d.MaxBubbleShare = 0.25
+	// All candidates from one bubble: the list must still fill to k.
+	if got := d.Recommend(0, 4, 0); len(got) != 4 {
+		t.Fatalf("diversifier starved the list: %d of 4", len(got))
+	}
+}
+
+func TestDiversifierName(t *testing.T) {
+	d := NewDiversifier(&stubRec{}, &Assignment{}, func(ids.TweetID) ids.UserID { return 0 })
+	if d.Name() != "stub+diverse" {
+		t.Error(d.Name())
+	}
+	if got := d.Recommend(0, 0, 0); got != nil {
+		t.Error("k=0 returned items")
+	}
+}

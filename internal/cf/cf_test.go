@@ -1,0 +1,142 @@
+package cf
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/ids"
+	"repro/internal/recsys"
+	"repro/internal/similarity"
+)
+
+// smallCtx builds a hand-crafted context: three users with overlapping
+// profiles, user 0 tracked.
+func smallCtx() *recsys.Context {
+	b := graph.NewBuilder(4, 1)
+	b.SetNumNodes(4)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	tweets := make([]dataset.Tweet, 10)
+	train := []dataset.Action{
+		{User: 0, Tweet: 0, Time: 1},
+		{User: 1, Tweet: 0, Time: 2},
+		{User: 2, Tweet: 0, Time: 3},
+		{User: 0, Tweet: 1, Time: 4},
+		{User: 1, Tweet: 1, Time: 5},
+	}
+	ds := &dataset.Dataset{Graph: g, Tweets: tweets, Actions: train}
+	return recsys.NewContext(ds, train, []ids.UserID{0}, 1)
+}
+
+func TestTopNeighbors(t *testing.T) {
+	ctx := smallCtx()
+	inv := buildInvertedIndex(ctx.Store)
+	nb := TopNeighbors(ctx.Store, inv, 0, 5)
+	if len(nb) != 2 {
+		t.Fatalf("neighbors = %+v", nb)
+	}
+	// User 1 shares two tweets with 0, user 2 only one → 1 ranks first.
+	if nb[0].User != 1 || nb[1].User != 2 {
+		t.Fatalf("neighbor order = %+v", nb)
+	}
+	if nb[0].Sim <= nb[1].Sim {
+		t.Error("similarities not descending")
+	}
+}
+
+func TestObserveFeedsTrackedPools(t *testing.T) {
+	ctx := smallCtx()
+	r := New(Config{Neighbors: 5})
+	if err := r.Init(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Neighbour 1 retweets tweet 5: it must appear in user 0's pool with
+	// score sim(0,1).
+	r.Observe(dataset.Action{User: 1, Tweet: 5, Time: 10})
+	recs := r.Recommend(0, 3, 11)
+	if len(recs) != 1 || recs[0].Tweet != 5 {
+		t.Fatalf("recs = %+v", recs)
+	}
+	want := ctx.Store.Sim(0, 1)
+	if recs[0].Score != want {
+		t.Errorf("score %v, want %v", recs[0].Score, want)
+	}
+	// Both neighbours share tweet 6: scores accumulate.
+	r.Observe(dataset.Action{User: 1, Tweet: 6, Time: 12})
+	r.Observe(dataset.Action{User: 2, Tweet: 6, Time: 13})
+	recs = r.Recommend(0, 1, 14)
+	if recs[0].Tweet != 6 {
+		t.Fatalf("accumulated tweet should rank first: %+v", recs)
+	}
+}
+
+func TestOwnRetweetNotRecommended(t *testing.T) {
+	ctx := smallCtx()
+	r := New(DefaultConfig())
+	if err := r.Init(ctx); err != nil {
+		t.Fatal(err)
+	}
+	r.Observe(dataset.Action{User: 1, Tweet: 5, Time: 10})
+	r.Observe(dataset.Action{User: 0, Tweet: 5, Time: 11}) // user 0 shares it
+	if recs := r.Recommend(0, 5, 12); len(recs) != 0 {
+		t.Fatalf("already-shared tweet recommended: %+v", recs)
+	}
+}
+
+func TestNonNeighborHasNoEffect(t *testing.T) {
+	ctx := smallCtx()
+	r := New(DefaultConfig())
+	if err := r.Init(ctx); err != nil {
+		t.Fatal(err)
+	}
+	r.Observe(dataset.Action{User: 3, Tweet: 7, Time: 10}) // user 3: no profile overlap
+	if recs := r.Recommend(0, 5, 11); len(recs) != 0 {
+		t.Fatalf("dissimilar user's share recommended: %+v", recs)
+	}
+}
+
+func TestEndToEndOnSynthetic(t *testing.T) {
+	cfg := gen.DefaultConfig(400, 9)
+	cfg.TweetsPerUser = 6
+	ds, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := ds.SplitByFraction(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracked := []ids.UserID{}
+	counts := dataset.UserRetweetCounts(ds.NumUsers(), split.Train)
+	for u, c := range counts {
+		if c > 0 && len(tracked) < 50 {
+			tracked = append(tracked, ids.UserID(u))
+		}
+	}
+	ctx := recsys.NewContext(ds, split.Train, tracked, 1)
+	r := New(DefaultConfig())
+	if err := r.Init(ctx); err != nil {
+		t.Fatal(err)
+	}
+	produced := 0
+	for _, a := range split.Test {
+		r.Observe(a)
+	}
+	now := split.Test[len(split.Test)-1].Time
+	for _, u := range tracked {
+		recs := r.Recommend(u, 10, now)
+		produced += len(recs)
+		for i := 1; i < len(recs); i++ {
+			if recs[i].Score > recs[i-1].Score {
+				t.Fatal("recommendations not sorted by score")
+			}
+		}
+	}
+	if produced == 0 {
+		t.Error("CF produced no recommendations on synthetic data")
+	}
+}
+
+var _ = similarity.Scored{} // keep import for doc references

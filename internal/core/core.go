@@ -1,0 +1,52 @@
+// Package core anchors the paper's primary contribution and names its two
+// halves, which live in sibling packages so each can be tested and
+// benchmarked in isolation:
+//
+//   - package simgraph — the similarity graph (Definition 4.1): 2-hop
+//     exploration of the follow graph, τ-thresholded popularity-adjusted
+//     Jaccard edges, incremental maintenance strategies (§6.3), and the
+//     streaming recommender built on top;
+//   - package propagation — the probability-propagation engine
+//     (Definition 4.2, Algorithm 1): frontier and incremental fixpoint
+//     iteration, the static β and dynamic γ(t) thresholds (§5.4), the
+//     postponed-computation scheduler, and the §5.2 linear-system bridge.
+//
+// The aliases below give the contribution one canonical import for
+// callers that want to name "the paper's system" without caring about the
+// internal split. The public module-level API (package repro) wraps the
+// same types.
+package core
+
+import (
+	"repro/internal/propagation"
+	"repro/internal/simgraph"
+)
+
+// Config is the similarity-graph construction configuration (τ, hops,
+// caps, parallelism).
+type Config = simgraph.Config
+
+// Recommender is the end-to-end SimGraph recommender.
+type Recommender = simgraph.Recommender
+
+// RecommenderConfig bundles graph construction with propagation tuning.
+type RecommenderConfig = simgraph.RecommenderConfig
+
+// Propagator runs Algorithm 1 over a similarity graph.
+type Propagator = propagation.Propagator
+
+// Incremental is the per-sharer incremental propagation engine.
+type Incremental = propagation.Incremental
+
+// DynamicThreshold is the popularity-driven cutoff γ(t) of §5.4.
+type DynamicThreshold = propagation.DynamicThreshold
+
+// Build constructs the similarity graph (Definition 4.1).
+var Build = simgraph.Build
+
+// NewRecommender returns an untrained SimGraph recommender.
+var NewRecommender = simgraph.NewRecommender
+
+// DefaultRecommenderConfig is the configuration used in the paper
+// reproduction experiments.
+var DefaultRecommenderConfig = simgraph.DefaultRecommenderConfig

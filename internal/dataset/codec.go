@@ -1,0 +1,167 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/graph"
+	"repro/internal/ids"
+)
+
+// Binary format:
+//
+//	magic "SIMREC01" | numUsers u32 | numEdges u64 | edges (from u32, to u32)*
+//	| numTweets u32 | tweets (author u32, time i64, topic i16)*
+//	| numActions u64 | actions (user u32, tweet u32, time i64)*
+//
+// Little-endian throughout. The format favours simplicity and sequential
+// IO over compression; a 20k-user dataset is a few tens of MB.
+
+const magic = "SIMREC01"
+
+// Save writes the dataset to w in the binary format.
+func (d *Dataset) Save(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	var buf [16]byte
+
+	le.PutUint32(buf[:4], uint32(d.NumUsers()))
+	if _, err := bw.Write(buf[:4]); err != nil {
+		return err
+	}
+	le.PutUint64(buf[:8], uint64(d.Graph.NumEdges()))
+	if _, err := bw.Write(buf[:8]); err != nil {
+		return err
+	}
+	for u := 0; u < d.NumUsers(); u++ {
+		for _, v := range d.Graph.Out(ids.UserID(u)) {
+			le.PutUint32(buf[:4], uint32(u))
+			le.PutUint32(buf[4:8], uint32(v))
+			if _, err := bw.Write(buf[:8]); err != nil {
+				return err
+			}
+		}
+	}
+
+	le.PutUint32(buf[:4], uint32(len(d.Tweets)))
+	if _, err := bw.Write(buf[:4]); err != nil {
+		return err
+	}
+	for _, t := range d.Tweets {
+		le.PutUint32(buf[:4], uint32(t.Author))
+		le.PutUint64(buf[4:12], uint64(t.Time))
+		le.PutUint16(buf[12:14], uint16(t.Topic))
+		if _, err := bw.Write(buf[:14]); err != nil {
+			return err
+		}
+	}
+
+	le.PutUint64(buf[:8], uint64(len(d.Actions)))
+	if _, err := bw.Write(buf[:8]); err != nil {
+		return err
+	}
+	for _, a := range d.Actions {
+		le.PutUint32(buf[:4], uint32(a.User))
+		le.PutUint32(buf[4:8], uint32(a.Tweet))
+		le.PutUint64(buf[8:16], uint64(a.Time))
+		if _, err := bw.Write(buf[:16]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a dataset previously written by Save.
+func Load(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("dataset: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("dataset: bad magic %q", head)
+	}
+	le := binary.LittleEndian
+	var buf [16]byte
+
+	if _, err := io.ReadFull(br, buf[:4]); err != nil {
+		return nil, err
+	}
+	numUsers := int(le.Uint32(buf[:4]))
+	if _, err := io.ReadFull(br, buf[:8]); err != nil {
+		return nil, err
+	}
+	numEdges := le.Uint64(buf[:8])
+
+	b := graph.NewBuilder(numUsers, int(numEdges))
+	b.SetNumNodes(numUsers)
+	for i := uint64(0); i < numEdges; i++ {
+		if _, err := io.ReadFull(br, buf[:8]); err != nil {
+			return nil, fmt.Errorf("dataset: reading edge %d: %w", i, err)
+		}
+		b.AddEdge(ids.UserID(le.Uint32(buf[:4])), ids.UserID(le.Uint32(buf[4:8])))
+	}
+	g := b.Build()
+
+	if _, err := io.ReadFull(br, buf[:4]); err != nil {
+		return nil, err
+	}
+	numTweets := int(le.Uint32(buf[:4]))
+	tweets := make([]Tweet, numTweets)
+	for i := range tweets {
+		if _, err := io.ReadFull(br, buf[:14]); err != nil {
+			return nil, fmt.Errorf("dataset: reading tweet %d: %w", i, err)
+		}
+		tweets[i] = Tweet{
+			Author: ids.UserID(le.Uint32(buf[:4])),
+			Time:   ids.Timestamp(le.Uint64(buf[4:12])),
+			Topic:  int16(le.Uint16(buf[12:14])),
+		}
+	}
+
+	if _, err := io.ReadFull(br, buf[:8]); err != nil {
+		return nil, err
+	}
+	numActions := le.Uint64(buf[:8])
+	actions := make([]Action, numActions)
+	for i := range actions {
+		if _, err := io.ReadFull(br, buf[:16]); err != nil {
+			return nil, fmt.Errorf("dataset: reading action %d: %w", i, err)
+		}
+		actions[i] = Action{
+			User:  ids.UserID(le.Uint32(buf[:4])),
+			Tweet: ids.TweetID(le.Uint32(buf[4:8])),
+			Time:  ids.Timestamp(le.Uint64(buf[8:16])),
+		}
+	}
+	return &Dataset{Graph: g, Tweets: tweets, Actions: actions}, nil
+}
+
+// SaveFile writes the dataset to path, creating or truncating it.
+func (d *Dataset) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a dataset from path.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

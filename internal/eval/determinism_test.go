@@ -1,0 +1,76 @@
+package eval
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/recsys"
+	"repro/internal/simgraph"
+)
+
+// The whole evaluation pipeline must be deterministic: same dataset seed
+// and options ⇒ identical sample, identical replay records, identical
+// metrics. This guards the reproducibility claim of EXPERIMENTS.md.
+func TestReplayDeterminism(t *testing.T) {
+	run := func() *Metrics {
+		cfg := gen.DefaultConfig(400, 31)
+		cfg.TweetsPerUser = 7
+		ds, err := gen.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := DefaultOptions()
+		opts.SamplePerClass = 15
+		opts.KMin, opts.KMax, opts.KStep = 10, 30, 10
+		r, err := NewReplay(ds, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m recsys.Recommender = simgraph.NewRecommender(simgraph.DefaultRecommenderConfig())
+		mr, err := r.Run(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Compute(mr)
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a.Hits, b.Hits) {
+		t.Fatalf("hits differ across identical runs: %v vs %v", a.Hits, b.Hits)
+	}
+	if !reflect.DeepEqual(a.F1, b.F1) {
+		t.Fatalf("F1 differs across identical runs")
+	}
+	if !reflect.DeepEqual(a.RecsPerDayUser, b.RecsPerDayUser) {
+		t.Fatalf("recommendation volumes differ across identical runs")
+	}
+}
+
+// Sampling is stratified: each activity class contributes the configured
+// number of users (or everything it has).
+func TestSampleStratification(t *testing.T) {
+	cfg := gen.DefaultConfig(600, 37)
+	cfg.TweetsPerUser = 7
+	ds, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.SamplePerClass = 25
+	r, err := NewReplay(ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var perClass [3]int
+	for _, c := range r.Sample.Class {
+		perClass[c]++
+	}
+	for c, n := range perClass {
+		if n == 0 {
+			t.Errorf("class %d empty in sample", c)
+		}
+		if n > opts.SamplePerClass {
+			t.Errorf("class %d oversampled: %d", c, n)
+		}
+	}
+}

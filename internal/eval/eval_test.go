@@ -1,0 +1,212 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/gen"
+	"repro/internal/ids"
+	"repro/internal/recsys"
+	"repro/internal/simgraph"
+)
+
+func testOptions() Options {
+	o := DefaultOptions()
+	o.SamplePerClass = 20
+	o.KMin, o.KMax, o.KStep = 10, 40, 10
+	return o
+}
+
+func testDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	cfg := gen.DefaultConfig(500, 13)
+	cfg.TweetsPerUser = 8
+	ds, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestNewReplay(t *testing.T) {
+	ds := testDataset(t)
+	r, err := NewReplay(ds, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Sample.Users) == 0 || len(r.Sample.Users) > 60 {
+		t.Fatalf("sample size %d", len(r.Sample.Users))
+	}
+	for i, u := range r.Sample.Users {
+		if r.Sample.Slot[u] != i {
+			t.Fatal("slot index inconsistent")
+		}
+	}
+	if r.NumDays() == 0 {
+		t.Fatal("no replay days")
+	}
+	// Days are day-aligned ascending.
+	for i := 1; i < len(r.Days); i++ {
+		if r.Days[i] != r.Days[i-1]+ids.Day {
+			t.Fatal("days not contiguous")
+		}
+	}
+	// Ks expansion.
+	ks := r.Opts.Ks()
+	if len(ks) != 4 || ks[0] != 10 || ks[3] != 40 {
+		t.Fatalf("Ks = %v", ks)
+	}
+}
+
+// fakeRec is a deterministic test recommender: it recommends the tweets
+// it has observed most recently, newest first.
+type fakeRec struct {
+	name   string
+	recent []ids.TweetID
+}
+
+func (f *fakeRec) Name() string               { return f.name }
+func (f *fakeRec) Init(*recsys.Context) error { return nil }
+func (f *fakeRec) Observe(a dataset.Action) {
+	f.recent = append(f.recent, a.Tweet)
+	if len(f.recent) > 64 {
+		f.recent = f.recent[1:]
+	}
+}
+func (f *fakeRec) Recommend(u ids.UserID, k int, now ids.Timestamp) []recsys.ScoredTweet {
+	var out []recsys.ScoredTweet
+	seen := map[ids.TweetID]bool{}
+	for i := len(f.recent) - 1; i >= 0 && len(out) < k; i-- {
+		t := f.recent[i]
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		out = append(out, recsys.ScoredTweet{Tweet: t, Score: float64(i)})
+	}
+	return out
+}
+
+func TestRunAndCompute(t *testing.T) {
+	ds := testDataset(t)
+	r, err := NewReplay(ds, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := r.Run(&fakeRec{name: "fake"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.ObserveCount != len(r.Split.Test) {
+		t.Fatalf("observed %d of %d test actions", run.ObserveCount, len(r.Split.Test))
+	}
+	if run.RecCalls != r.NumDays()*len(r.Sample.Users) {
+		t.Fatalf("rec calls %d", run.RecCalls)
+	}
+	m := r.Compute(run)
+	if len(m.Hits) != len(r.Opts.Ks()) {
+		t.Fatal("metric lengths wrong")
+	}
+	gt := r.truth()
+	for i := range m.Ks {
+		// Hits bounded by ground truth; monotone in k.
+		if m.Hits[i] > gt.total {
+			t.Fatalf("hits %d exceed ground truth %d", m.Hits[i], gt.total)
+		}
+		if i > 0 && m.Hits[i] < m.Hits[i-1] {
+			t.Fatal("hits not monotone in k")
+		}
+		if m.Precision[i] < 0 || m.Precision[i] > 1 || m.Recall[i] < 0 || m.Recall[i] > 1 {
+			t.Fatal("precision/recall out of range")
+		}
+		if m.F1[i] > 1 {
+			t.Fatal("F1 out of range")
+		}
+		sum := m.HitsByClass[0][i] + m.HitsByClass[1][i] + m.HitsByClass[2][i]
+		if sum != m.Hits[i] {
+			t.Fatalf("class hits %d != total %d", sum, m.Hits[i])
+		}
+		if len(m.HitSets[i]) != m.Hits[i] {
+			t.Fatal("hit set size mismatch")
+		}
+	}
+}
+
+func TestCommonHitRatio(t *testing.T) {
+	a := &Metrics{Ks: []int{10}, HitSets: []map[pairKey]struct{}{{1: {}, 2: {}, 3: {}}}}
+	b := &Metrics{Ks: []int{10}, HitSets: []map[pairKey]struct{}{{2: {}, 3: {}, 4: {}, 5: {}}}}
+	ratios := CommonHitRatio(a, b)
+	if len(ratios) != 1 || ratios[0] != 0.5 {
+		t.Fatalf("ratio = %v, want 0.5", ratios)
+	}
+	empty := &Metrics{Ks: []int{10}, HitSets: []map[pairKey]struct{}{{}}}
+	if r := CommonHitRatio(a, empty); r[0] != 0 {
+		t.Fatal("empty competitor should give 0")
+	}
+}
+
+func TestPairKey(t *testing.T) {
+	k := makePair(12345, 67890)
+	if k.slot() != 12345 || k.tweet() != 67890 {
+		t.Fatalf("pairKey round trip failed: %d %d", k.slot(), k.tweet())
+	}
+}
+
+func TestTimings(t *testing.T) {
+	ds := testDataset(t)
+	r, err := NewReplay(ds, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := r.Run(&fakeRec{name: "fake"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := r.Timings(run, 100)
+	if tm.Total < tm.RecoTotal || tm.PerMessage < 0 {
+		t.Errorf("timings %+v", tm)
+	}
+	tm0 := r.Timings(run, 0)
+	if tm0.InitPerUser != 0 {
+		t.Error("initUsers=0 should zero the per-user figure")
+	}
+}
+
+func TestDeriveThresholds(t *testing.T) {
+	lo, hi := deriveThresholds([]int32{0, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if lo <= 0 || hi <= lo {
+		t.Errorf("thresholds %d %d", lo, hi)
+	}
+	lo, hi = deriveThresholds(nil)
+	if lo != 1 || hi != 2 {
+		t.Errorf("empty thresholds %d %d", lo, hi)
+	}
+}
+
+func TestUpdateStrategyExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("update experiment is slow")
+	}
+	ds := testDataset(t)
+	r, err := NewReplay(ds, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := r.UpdateStrategyExperiment(simgraph.DefaultRecommenderConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(simgraph.AllUpdateStrategies) {
+		t.Fatalf("%d results", len(results))
+	}
+	for _, res := range results {
+		if len(res.Hits) != len(r.Opts.Ks()) {
+			t.Fatalf("strategy %v: %d hit points", res.Strategy, len(res.Hits))
+		}
+		for i := 1; i < len(res.Hits); i++ {
+			if res.Hits[i] < res.Hits[i-1] {
+				t.Fatalf("strategy %v: hits not monotone in k", res.Strategy)
+			}
+		}
+	}
+}

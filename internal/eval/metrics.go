@@ -1,0 +1,206 @@
+package eval
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/ids"
+)
+
+// pairKey packs (slot, tweet) into one map key.
+type pairKey uint64
+
+func makePair(slot int32, t ids.TweetID) pairKey {
+	return pairKey(uint64(uint32(slot))<<32 | uint64(t))
+}
+
+func (p pairKey) slot() int32        { return int32(p >> 32) }
+func (p pairKey) tweet() ids.TweetID { return ids.TweetID(p & 0xffffffff) }
+
+// Metrics holds every per-k series the figures need, for one method.
+type Metrics struct {
+	Name string
+	Ks   []int
+
+	// Figure 7: average recommendations issued per day and user.
+	RecsPerDayUser []float64
+	// Figures 8–11: hits overall and per activity class.
+	Hits        []int
+	HitsByClass [3][]int
+	// Figure 12: average total retweet count of hit tweets.
+	AvgHitPopularity []float64
+	// Figure 14 inputs.
+	Precision, Recall, F1 []float64
+	// Figure 15: average seconds between recommendation and the actual
+	// retweet, over hits.
+	AvgAdvance []float64
+	// HitSets[i] is the set of hit (user-slot, tweet) pairs at Ks[i];
+	// Figure 13 intersects these across methods.
+	HitSets []map[pairKey]struct{}
+}
+
+// groundTruth indexes the test actions of sampled users.
+type groundTruth struct {
+	// firstAction maps (slot, tweet) to the user's earliest test retweet.
+	firstAction map[pairKey]ids.Timestamp
+	// perClass counts distinct (user, tweet) test pairs by class.
+	perClass [3]int
+	total    int
+}
+
+func (r *Replay) truth() *groundTruth {
+	gt := &groundTruth{firstAction: make(map[pairKey]ids.Timestamp)}
+	for _, a := range r.Split.Test {
+		slot, ok := r.Sample.Slot[a.User]
+		if !ok {
+			continue
+		}
+		k := makePair(int32(slot), a.Tweet)
+		if _, seen := gt.firstAction[k]; !seen {
+			gt.firstAction[k] = a.Time
+			gt.perClass[r.Sample.Class[slot]]++
+			gt.total++
+		}
+	}
+	return gt
+}
+
+// Compute derives the full metric set from a replay run.
+func (r *Replay) Compute(run *MethodRun) *Metrics {
+	gt := r.truth()
+	ks := r.Opts.Ks()
+	m := &Metrics{Name: run.Name, Ks: ks}
+
+	days := len(r.Days)
+	users := len(r.Sample.Users)
+
+	for _, k := range ks {
+		// Earliest recommendation time per (slot, tweet) within prefix k,
+		// plus the issued-slot count.
+		firstRec := make(map[pairKey]ids.Timestamp, 1<<12)
+		var slots int64
+		for _, rec := range run.Records {
+			limit := k
+			if limit > len(rec.Tweets) {
+				limit = len(rec.Tweets)
+			}
+			slots += int64(limit)
+			at := r.Days[rec.Day]
+			for _, t := range rec.Tweets[:limit] {
+				key := makePair(rec.Slot, t)
+				if _, seen := firstRec[key]; !seen {
+					firstRec[key] = at
+				}
+			}
+		}
+
+		hits := 0
+		var hitsByClass [3]int
+		var popSum, advSum float64
+		hitSet := make(map[pairKey]struct{})
+		for key, actAt := range gt.firstAction {
+			recAt, ok := firstRec[key]
+			if !ok || recAt >= actAt {
+				continue
+			}
+			hits++
+			hitsByClass[r.Sample.Class[key.slot()]]++
+			popSum += float64(r.TotalPop[key.tweet()])
+			advSum += float64(actAt - recAt)
+			hitSet[key] = struct{}{}
+		}
+
+		m.Hits = append(m.Hits, hits)
+		for c := 0; c < 3; c++ {
+			m.HitsByClass[c] = append(m.HitsByClass[c], hitsByClass[c])
+		}
+		if days > 0 && users > 0 {
+			m.RecsPerDayUser = append(m.RecsPerDayUser, float64(slots)/float64(days*users))
+		} else {
+			m.RecsPerDayUser = append(m.RecsPerDayUser, 0)
+		}
+		var prec, rec float64
+		if distinct := len(firstRec); distinct > 0 {
+			prec = float64(hits) / float64(distinct)
+		}
+		if gt.total > 0 {
+			rec = float64(hits) / float64(gt.total)
+		}
+		m.Precision = append(m.Precision, prec)
+		m.Recall = append(m.Recall, rec)
+		if prec+rec > 0 {
+			m.F1 = append(m.F1, 2*prec*rec/(prec+rec))
+		} else {
+			m.F1 = append(m.F1, 0)
+		}
+		if hits > 0 {
+			m.AvgHitPopularity = append(m.AvgHitPopularity, popSum/float64(hits))
+			m.AvgAdvance = append(m.AvgAdvance, advSum/float64(hits))
+		} else {
+			m.AvgHitPopularity = append(m.AvgHitPopularity, 0)
+			m.AvgAdvance = append(m.AvgAdvance, 0)
+		}
+		m.HitSets = append(m.HitSets, hitSet)
+	}
+	return m
+}
+
+// CommonHitRatio computes Figure 13's σ: the fraction of the competitor's
+// hits that SimGraph also hit, per k.
+func CommonHitRatio(simgraph, competitor *Metrics) []float64 {
+	out := make([]float64, len(competitor.Ks))
+	for i := range competitor.Ks {
+		comp := competitor.HitSets[i]
+		if len(comp) == 0 {
+			continue
+		}
+		inter := 0
+		for key := range comp {
+			if _, ok := simgraph.HitSets[i][key]; ok {
+				inter++
+			}
+		}
+		out[i] = float64(inter) / float64(len(comp))
+	}
+	return out
+}
+
+// HitsForClass selects the per-class hit curve.
+func (m *Metrics) HitsForClass(c dataset.ActivityClass) []int {
+	return m.HitsByClass[c]
+}
+
+// Timing summarizes a MethodRun for Table 5.
+type Timing struct {
+	Name string
+	// InitPerUser is the initialization cost divided by the users it
+	// covered; InitTotal the whole phase.
+	InitPerUser float64 // milliseconds
+	InitTotal   float64 // seconds
+	// PerMessage is the mean Observe cost (milliseconds); PerQuery the
+	// mean per-user Recommend cost (milliseconds).
+	PerMessage float64
+	PerQuery   float64
+	// RecoTotal is time spent producing recommendations; Total the sum of
+	// everything (seconds).
+	RecoTotal float64
+	Total     float64
+}
+
+// Timings derives Table 5 rows. initUsers is the number of users the init
+// phase effectively processed (the full user base for SimGraph/Bayes, the
+// tracked cohort for our pruned CF, zero for GraphJet).
+func (r *Replay) Timings(run *MethodRun, initUsers int) Timing {
+	t := Timing{Name: run.Name}
+	t.InitTotal = run.InitTime.Seconds()
+	if initUsers > 0 {
+		t.InitPerUser = run.InitTime.Seconds() * 1000 / float64(initUsers)
+	}
+	if run.ObserveCount > 0 {
+		t.PerMessage = run.ObserveTime.Seconds() * 1000 / float64(run.ObserveCount)
+	}
+	if run.RecCalls > 0 {
+		t.PerQuery = run.RecTime.Seconds() * 1000 / float64(run.RecCalls)
+	}
+	t.RecoTotal = run.ObserveTime.Seconds() + run.RecTime.Seconds()
+	t.Total = t.InitTotal + t.RecoTotal
+	return t
+}

@@ -1,0 +1,120 @@
+package eval
+
+import (
+	"repro/internal/ids"
+	"repro/internal/recsys"
+	"repro/internal/simgraph"
+	"repro/internal/similarity"
+)
+
+// UpdateResult is one Figure 16 curve: hits on the last 5 % of actions
+// for a similarity graph maintained with one strategy.
+type UpdateResult struct {
+	Strategy simgraph.UpdateStrategy
+	Hits     []int // aligned with Options.Ks()
+}
+
+// UpdateStrategyExperiment reproduces §6.3 / Figure 16. The similarity
+// graph is built at the 90 % mark; the 90–95 % window is then revealed
+// (profiles refreshed) and each maintenance strategy produces a graph
+// variant, which is evaluated on the hits it yields over the final 5 %.
+func (r *Replay) UpdateStrategyExperiment(rcfg simgraph.RecommenderConfig) ([]UpdateResult, error) {
+	ds := r.Dataset
+	test := r.Split.Test
+	half := len(test) / 2
+	secondStart := test[half].Time
+
+	// Base graph at 90 %.
+	base := simgraph.Build(ds.Graph, r.Ctx.Store, rcfg.Graph)
+
+	// Profiles refreshed with the 90–95 % window. Train is a prefix of
+	// ds.Actions, so the refreshed log is a longer prefix.
+	refreshed := ds.Actions[:len(r.Split.Train)+half]
+	store95 := similarity.NewStore(ds.NumUsers(), ds.NumTweets(), refreshed)
+
+	// Ground truth restricted to the final window.
+	gt := r.truth()
+	ks := r.Opts.Ks()
+
+	var out []UpdateResult
+	for _, strategy := range simgraph.AllUpdateStrategies {
+		g := simgraph.Update(strategy, base, ds.Graph, store95, rcfg.Graph)
+
+		rec := simgraph.NewRecommender(rcfg)
+		rec.InitWithGraph(r.Ctx, g)
+		run, err := r.runWindow(rec, secondStart)
+		if err != nil {
+			return nil, err
+		}
+		res := UpdateResult{Strategy: strategy}
+		for _, k := range ks {
+			res.Hits = append(res.Hits, r.hitsInWindow(run, gt, k, secondStart))
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// runWindow replays the whole test stream but records recommendations
+// only from recordFrom onward (earlier days just warm the method).
+func (r *Replay) runWindow(m recsys.Recommender, recordFrom ids.Timestamp) (*MethodRun, error) {
+	run := &MethodRun{Name: m.Name()}
+	test := r.Split.Test
+	next := 0
+	for dayIdx, dayStart := range r.Days {
+		if dayStart >= recordFrom {
+			for slot, u := range r.Sample.Users {
+				recs := m.Recommend(u, r.Opts.KMax, dayStart)
+				if len(recs) == 0 {
+					continue
+				}
+				tweets := make([]ids.TweetID, len(recs))
+				for i, sc := range recs {
+					tweets[i] = sc.Tweet
+				}
+				run.Records = append(run.Records, RecRecord{
+					Slot: int32(slot), Day: int32(dayIdx), Tweets: tweets,
+				})
+			}
+		}
+		dayEnd := dayStart + ids.Day
+		for next < len(test) && test[next].Time < dayEnd {
+			m.Observe(test[next])
+			next++
+		}
+	}
+	for next < len(test) {
+		m.Observe(test[next])
+		next++
+	}
+	return run, nil
+}
+
+// hitsInWindow counts hits whose actual retweet happened at or after
+// windowStart, at daily cap k.
+func (r *Replay) hitsInWindow(run *MethodRun, gt *groundTruth, k int, windowStart ids.Timestamp) int {
+	firstRec := make(map[pairKey]ids.Timestamp)
+	for _, rec := range run.Records {
+		limit := k
+		if limit > len(rec.Tweets) {
+			limit = len(rec.Tweets)
+		}
+		at := r.Days[rec.Day]
+		for _, t := range rec.Tweets[:limit] {
+			key := makePair(rec.Slot, t)
+			if _, seen := firstRec[key]; !seen {
+				firstRec[key] = at
+			}
+		}
+	}
+	hits := 0
+	for key, actAt := range gt.firstAction {
+		if actAt < windowStart {
+			continue
+		}
+		if recAt, ok := firstRec[key]; ok && recAt < actAt {
+			hits++
+		}
+	}
+	return hits
+}

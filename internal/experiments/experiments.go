@@ -1,0 +1,476 @@
+// Package experiments wires datasets, methods and the evaluation harness
+// into one driver per table/figure of the paper. Each Figure*/Table*
+// method renders plain-text output whose rows/series correspond to what
+// the paper plots, so EXPERIMENTS.md can be regenerated mechanically.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/bayes"
+	"repro/internal/cf"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/graphjet"
+	"repro/internal/ids"
+	"repro/internal/recsys"
+	"repro/internal/simgraph"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// MethodNames lists the evaluated methods in the paper's legend order.
+var MethodNames = []string{"Bayes", "CF", "GraphJet", "SimGraph"}
+
+// Suite owns a dataset plus lazily-computed shared state (split, replay,
+// per-method runs) so running several figures re-uses one replay.
+type Suite struct {
+	DS   *dataset.Dataset
+	Opts eval.Options
+
+	// SimGraphCfg configures the paper's method across experiments.
+	SimGraphCfg simgraph.RecommenderConfig
+
+	replay  *eval.Replay
+	runs    map[string]*eval.MethodRun
+	metrics map[string]*eval.Metrics
+}
+
+// NewSuite builds a suite over a dataset with the given evaluation
+// options.
+func NewSuite(ds *dataset.Dataset, opts eval.Options) *Suite {
+	return &Suite{
+		DS:          ds,
+		Opts:        opts,
+		SimGraphCfg: simgraph.DefaultRecommenderConfig(),
+		runs:        make(map[string]*eval.MethodRun),
+		metrics:     make(map[string]*eval.Metrics),
+	}
+}
+
+// newMethods instantiates fresh recommenders in legend order.
+func (s *Suite) newMethods() []recsys.Recommender {
+	return []recsys.Recommender{
+		bayes.New(bayes.DefaultConfig()),
+		cf.New(cf.DefaultConfig()),
+		graphjet.New(graphjet.DefaultConfig()),
+		simgraph.NewRecommender(s.SimGraphCfg),
+	}
+}
+
+// Replay returns the shared prepared replay, building it on first use.
+func (s *Suite) Replay() (*eval.Replay, error) {
+	if s.replay == nil {
+		r, err := eval.NewReplay(s.DS, s.Opts)
+		if err != nil {
+			return nil, err
+		}
+		s.replay = r
+	}
+	return s.replay, nil
+}
+
+// EnsureRuns replays every method once, caching runs and metrics.
+// Progress lines go to w if non-nil.
+func (s *Suite) EnsureRuns(w io.Writer) error {
+	r, err := s.Replay()
+	if err != nil {
+		return err
+	}
+	for _, m := range s.newMethods() {
+		if _, done := s.runs[m.Name()]; done {
+			continue
+		}
+		run, err := r.Run(m)
+		if err != nil {
+			return err
+		}
+		s.runs[m.Name()] = run
+		s.metrics[m.Name()] = r.Compute(run)
+		if w != nil {
+			fmt.Fprintf(w, "# replayed %-9s init=%v observe=%v recommend=%v\n",
+				m.Name(), run.InitTime.Round(time.Millisecond),
+				run.ObserveTime.Round(time.Millisecond), run.RecTime.Round(time.Millisecond))
+		}
+	}
+	return nil
+}
+
+// Metrics returns the cached metrics for a method (EnsureRuns first).
+func (s *Suite) Metrics(name string) *eval.Metrics { return s.metrics[name] }
+
+// ---------------------------------------------------------------------------
+// Section 3 analysis (Tables 1–3, Figures 1–4)
+
+// Table1 renders the dataset feature table.
+func (s *Suite) Table1(pathSamples int) string {
+	f := stats.Features(s.DS, pathSamples, s.Opts.Seed)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: Main features of the synthetic Twitter dataset\n")
+	fmt.Fprintf(&b, "  %-18s %d\n", "# nodes", f.Nodes)
+	fmt.Fprintf(&b, "  %-18s %d\n", "# edges", f.Edges)
+	fmt.Fprintf(&b, "  %-18s %d\n", "# tweets", f.Tweets)
+	fmt.Fprintf(&b, "  %-18s %d\n", "# retweets", f.Actions)
+	fmt.Fprintf(&b, "  %-18s %.1f\n", "avg. out-deg.", f.AvgOutDegree)
+	fmt.Fprintf(&b, "  %-18s %.1f\n", "avg. in-deg.", f.AvgInDegree)
+	fmt.Fprintf(&b, "  %-18s %d\n", "max out-deg.", f.MaxOutDegree)
+	fmt.Fprintf(&b, "  %-18s %d\n", "max in-deg.", f.MaxInDegree)
+	fmt.Fprintf(&b, "  %-18s %d\n", "diameter", f.Diameter)
+	fmt.Fprintf(&b, "  %-18s %.2f\n", "avg. path length", f.AvgPathLength)
+	return b.String()
+}
+
+// Figure1 renders the follow-graph smallest-path distribution.
+func (s *Suite) Figure1(samples int) string {
+	p := stats.Paths(s.DS.Graph, samples, s.Opts.Seed)
+	return renderPathDist("Figure 1: Twitter smallest paths distribution (sampled)", p)
+}
+
+func renderPathDist(title string, p stats.PathDistribution) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, title)
+	for d := 1; d < len(p.Hist); d++ {
+		fmt.Fprintf(&b, "  dist %2d: %12d pairs\n", d, p.Hist[d])
+	}
+	fmt.Fprintf(&b, "  unreachable: %8d pairs\n", p.Impossible)
+	return b.String()
+}
+
+// Figure2 renders the retweets-per-tweet buckets.
+func (s *Suite) Figure2() string {
+	r := stats.RetweetsPerTweet(s.DS)
+	var b strings.Builder
+	fmt.Fprintln(&b, "Figure 2: Distribution of the number of retweets per tweet")
+	for i, l := range r.Labels {
+		fmt.Fprintf(&b, "  %-8s %12d tweets\n", l, r.Counts[i])
+	}
+	return b.String()
+}
+
+// Figure3 renders the retweets-per-user distribution.
+func (s *Suite) Figure3() string {
+	r := stats.RetweetsPerUser(s.DS)
+	var b strings.Builder
+	fmt.Fprintln(&b, "Figure 3: Number of retweets per user")
+	for i, l := range r.Labels {
+		fmt.Fprintf(&b, "  %-8s %12d users\n", l, r.Counts[i])
+	}
+	fmt.Fprintf(&b, "  mean=%.1f median=%.0f never-retweet=%.0f%%\n", r.Mean, r.Median, 100*r.NeverShare)
+	return b.String()
+}
+
+// Figure4 renders the tweet-lifetime distribution.
+func (s *Suite) Figure4() string {
+	r := stats.Lifetimes(s.DS)
+	var b strings.Builder
+	fmt.Fprintln(&b, "Figure 4: Lifetime of a tweet (tweets retweeted at least once)")
+	for i, l := range r.Labels {
+		fmt.Fprintf(&b, "  %-8s %12d tweets\n", l, r.Counts[i])
+	}
+	fmt.Fprintf(&b, "  dead within 1h: %.0f%%   dead within 72h: %.0f%%\n",
+		100*r.DeadWithin1h, 100*r.DeadWithin72h)
+	return b.String()
+}
+
+// Table2 renders the similarity-by-distance homophily table.
+func (s *Suite) Table2(cfg stats.HomophilyConfig) (string, error) {
+	r, err := s.Replay()
+	if err != nil {
+		return "", err
+	}
+	rows := stats.SimilarityByDistance(s.DS, r.Ctx.Store, cfg)
+	var b strings.Builder
+	fmt.Fprintln(&b, "Table 2: Evolution of the similarity score through distance in the network")
+	fmt.Fprintf(&b, "  %-10s %12s %8s %12s\n", "Distance", "Nb of pairs", "Perc.", "Avg sim")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "  %-10s %12d %7.2f%% %12.5f\n", row.Distance, row.Pairs, row.Percent, row.AvgSim)
+	}
+	return b.String(), nil
+}
+
+// Table3 renders the top-N-rank vs distance table.
+func (s *Suite) Table3(cfg stats.HomophilyConfig) (string, error) {
+	r, err := s.Replay()
+	if err != nil {
+		return "", err
+	}
+	rows := stats.TopNDistance(s.DS, r.Ctx.Store, 5, cfg)
+	var b strings.Builder
+	fmt.Fprintln(&b, "Table 3: Link between network distance and position in the Top-5 ranking")
+	fmt.Fprintf(&b, "  %-5s %9s %8s %8s %8s %8s %8s\n", "Rank", "Avg dist", "d=1", "d=2", "d=3", "d=4", "d>4")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "  %-5d %9.2f %7.2f%% %7.2f%% %7.2f%% %7.2f%% %7.2f%%\n",
+			row.Rank, row.AvgDistance, row.DistPct[0], row.DistPct[1], row.DistPct[2], row.DistPct[3], row.Beyond)
+	}
+	return b.String(), nil
+}
+
+// ---------------------------------------------------------------------------
+// SimGraph structure (Table 4, Figure 5)
+
+// Table4 builds the similarity graph and renders its characteristics.
+func (s *Suite) Table4(pathSamples int) (string, error) {
+	r, err := s.Replay()
+	if err != nil {
+		return "", err
+	}
+	g := simgraph.Build(s.DS.Graph, r.Ctx.Store, s.SimGraphCfg.Graph)
+	srcs := samplePresent(g.NumNodes(), pathSamples, s.Opts.Seed, func(u ids.UserID) bool {
+		return g.OutDegree(u) > 0
+	})
+	ch := simgraph.Measure(g, srcs)
+	var b strings.Builder
+	fmt.Fprintln(&b, "Table 4: SimGraph characteristics")
+	fmt.Fprintf(&b, "  %-22s %d\n", "Nb of nodes", ch.Nodes)
+	fmt.Fprintf(&b, "  %-22s %d\n", "Nb of edges", ch.Edges)
+	fmt.Fprintf(&b, "  %-22s %.4f\n", "Mean similarity score", ch.MeanSim)
+	fmt.Fprintf(&b, "  %-22s %.1f\n", "Mean out-degree", ch.MeanOutDegree)
+	fmt.Fprintf(&b, "  %-22s %d\n", "Diameter (est.)", ch.Diameter)
+	fmt.Fprintf(&b, "  %-22s %.1f\n", "Mean smallest path", ch.MeanPath)
+	return b.String(), nil
+}
+
+// Figure5 renders the SimGraph smallest-path distribution.
+func (s *Suite) Figure5(samples int) (string, error) {
+	r, err := s.Replay()
+	if err != nil {
+		return "", err
+	}
+	g := simgraph.Build(s.DS.Graph, r.Ctx.Store, s.SimGraphCfg.Graph)
+	un := simgraph.ToUnweighted(g)
+	srcs := samplePresent(un.NumNodes(), samples, s.Opts.Seed, func(u ids.UserID) bool {
+		return un.OutDegree(u) > 0
+	})
+	hist, imp := un.PathLengthDistribution(srcs)
+	return renderPathDist("Figure 5: SimGraph smallest path distribution (sampled)",
+		stats.PathDistribution{Hist: hist, Impossible: imp}), nil
+}
+
+// samplePresent samples up to k node IDs satisfying keep.
+func samplePresent(n, k int, seed uint64, keep func(ids.UserID) bool) []ids.UserID {
+	var pool []ids.UserID
+	for u := 0; u < n; u++ {
+		if keep(ids.UserID(u)) {
+			pool = append(pool, ids.UserID(u))
+		}
+	}
+	if len(pool) <= k {
+		return pool
+	}
+	rng := xrand.New(seed ^ 0xa11ce)
+	idx := rng.Sample(len(pool), k)
+	out := make([]ids.UserID, len(idx))
+	for i, v := range idx {
+		out[i] = pool[v]
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation figures (7–15) and Table 5
+
+// Figure7 renders the recall-capacity curves.
+func (s *Suite) Figure7() (string, error) {
+	if err := s.EnsureRuns(nil); err != nil {
+		return "", err
+	}
+	series := map[string][]float64{}
+	for _, n := range MethodNames {
+		series[n] = s.metrics[n].RecsPerDayUser
+	}
+	return renderCurves("Figure 7: Average number of recommendations per day & user",
+		s.Opts.Ks(), series, "%8.1f"), nil
+}
+
+// figureHits renders one of Figures 8–11 for an optional class filter
+// (nil = all users).
+func (s *Suite) figureHits(title string, class *dataset.ActivityClass) (string, error) {
+	if err := s.EnsureRuns(nil); err != nil {
+		return "", err
+	}
+	series := map[string][]float64{}
+	for _, n := range MethodNames {
+		var hits []int
+		if class == nil {
+			hits = s.metrics[n].Hits
+		} else {
+			hits = s.metrics[n].HitsForClass(*class)
+		}
+		series[n] = intsToFloats(hits)
+	}
+	return renderCurves(title, s.Opts.Ks(), series, "%8.0f"), nil
+}
+
+// Figure8 renders total hits over the whole cohort.
+func (s *Suite) Figure8() (string, error) {
+	return s.figureHits("Figure 8: Number of hits (all sampled users)", nil)
+}
+
+// Figure9 renders hits for low-activity users.
+func (s *Suite) Figure9() (string, error) {
+	c := dataset.LowActivity
+	return s.figureHits("Figure 9: Number of hits (low-activity users)", &c)
+}
+
+// Figure10 renders hits for moderate users.
+func (s *Suite) Figure10() (string, error) {
+	c := dataset.ModerateActivity
+	return s.figureHits("Figure 10: Number of hits (moderate users)", &c)
+}
+
+// Figure11 renders hits for intensive users.
+func (s *Suite) Figure11() (string, error) {
+	c := dataset.IntensiveActivity
+	return s.figureHits("Figure 11: Number of hits (intensive users)", &c)
+}
+
+// Figure12 renders the average popularity of hit tweets.
+func (s *Suite) Figure12() (string, error) {
+	if err := s.EnsureRuns(nil); err != nil {
+		return "", err
+	}
+	series := map[string][]float64{}
+	for _, n := range MethodNames {
+		series[n] = s.metrics[n].AvgHitPopularity
+	}
+	return renderCurves("Figure 12: Average number of shares per hit (popularity of hits)",
+		s.Opts.Ks(), series, "%8.1f"), nil
+}
+
+// Figure13 renders the share of each competitor's hits that SimGraph also
+// produced.
+func (s *Suite) Figure13() (string, error) {
+	if err := s.EnsureRuns(nil); err != nil {
+		return "", err
+	}
+	sg := s.metrics["SimGraph"]
+	series := map[string][]float64{}
+	for _, n := range MethodNames {
+		if n == "SimGraph" {
+			continue
+		}
+		series[n] = eval.CommonHitRatio(sg, s.metrics[n])
+	}
+	return renderCurves("Figure 13: Ratio of hits in common with SimGraph",
+		s.Opts.Ks(), series, "%8.2f"), nil
+}
+
+// Figure14 renders the F1 curves.
+func (s *Suite) Figure14() (string, error) {
+	if err := s.EnsureRuns(nil); err != nil {
+		return "", err
+	}
+	series := map[string][]float64{}
+	for _, n := range MethodNames {
+		series[n] = s.metrics[n].F1
+	}
+	return renderCurves("Figure 14: F1 score over number of daily recommendations",
+		s.Opts.Ks(), series, "%8.5f"), nil
+}
+
+// Figure15 renders the average advance time before the real retweet.
+func (s *Suite) Figure15() (string, error) {
+	if err := s.EnsureRuns(nil); err != nil {
+		return "", err
+	}
+	series := map[string][]float64{}
+	for _, n := range MethodNames {
+		series[n] = s.metrics[n].AvgAdvance
+	}
+	return renderCurves("Figure 15: Average advance time before real retweet (seconds)",
+		s.Opts.Ks(), series, "%8.0f"), nil
+}
+
+// Table5 renders the processing-time comparison.
+func (s *Suite) Table5() (string, error) {
+	if err := s.EnsureRuns(nil); err != nil {
+		return "", err
+	}
+	r := s.replay
+	var b strings.Builder
+	fmt.Fprintln(&b, "Table 5: Initialization and recommendation time")
+	fmt.Fprintf(&b, "  %-9s %14s %12s %14s %12s %12s\n",
+		"method", "init/user(ms)", "init(s)", "per-msg(ms)", "reco(s)", "total(s)")
+	for _, n := range MethodNames {
+		run := s.runs[n]
+		initUsers := s.DS.NumUsers()
+		switch n {
+		case "GraphJet":
+			initUsers = 0
+		case "CF":
+			// Our CF prunes the all-pairs scan to the evaluated cohort;
+			// per-user init cost is still the meaningful unit.
+			initUsers = len(r.Sample.Users)
+		}
+		t := r.Timings(run, initUsers)
+		perMsg := fmt.Sprintf("%12.3f", t.PerMessage)
+		if n == "GraphJet" {
+			perMsg = fmt.Sprintf("%7.3f/user", t.PerQuery)
+		}
+		fmt.Fprintf(&b, "  %-9s %14.3f %12.2f %14s %12.2f %12.2f\n",
+			n, t.InitPerUser, t.InitTotal, perMsg, t.RecoTotal, t.Total)
+	}
+	return b.String(), nil
+}
+
+// Figure16 runs the update-strategy experiment.
+func (s *Suite) Figure16() (string, error) {
+	r, err := s.Replay()
+	if err != nil {
+		return "", err
+	}
+	results, err := r.UpdateStrategyExperiment(s.SimGraphCfg)
+	if err != nil {
+		return "", err
+	}
+	series := map[string][]float64{}
+	var names []string
+	for _, res := range results {
+		series[res.Strategy.String()] = intsToFloats(res.Hits)
+		names = append(names, res.Strategy.String())
+	}
+	return renderNamedCurves("Figure 16: Number of hits with several updating strategies (last 5%)",
+		s.Opts.Ks(), names, series, "%8.0f"), nil
+}
+
+// ---------------------------------------------------------------------------
+// Rendering helpers
+
+func intsToFloats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+func renderCurves(title string, ks []int, series map[string][]float64, cellFmt string) string {
+	names := make([]string, 0, len(series))
+	for n := range series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return renderNamedCurves(title, ks, names, series, cellFmt)
+}
+
+func renderNamedCurves(title string, ks []int, names []string, series map[string][]float64, cellFmt string) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, title)
+	fmt.Fprintf(&b, "  %-18s", "k")
+	for _, k := range ks {
+		fmt.Fprintf(&b, "%8d", k)
+	}
+	fmt.Fprintln(&b)
+	for _, n := range names {
+		fmt.Fprintf(&b, "  %-18s", n)
+		for _, v := range series[n] {
+			fmt.Fprintf(&b, cellFmt, v)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}

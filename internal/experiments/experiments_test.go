@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/gen"
+	"repro/internal/stats"
+)
+
+func testSuite(t *testing.T) *Suite {
+	t.Helper()
+	cfg := gen.DefaultConfig(500, 19)
+	cfg.TweetsPerUser = 8
+	ds, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := eval.DefaultOptions()
+	opts.SamplePerClass = 15
+	opts.KMin, opts.KMax, opts.KStep = 10, 30, 10
+	return NewSuite(ds, opts)
+}
+
+func TestSection3Renders(t *testing.T) {
+	s := testSuite(t)
+	if out := s.Table1(8); !strings.Contains(out, "# nodes") {
+		t.Errorf("Table1 output: %q", out)
+	}
+	if out := s.Figure1(8); !strings.Contains(out, "dist") {
+		t.Errorf("Figure1 output: %q", out)
+	}
+	if out := s.Figure2(); !strings.Contains(out, "2-5") {
+		t.Errorf("Figure2 output: %q", out)
+	}
+	if out := s.Figure3(); !strings.Contains(out, "never-retweet") {
+		t.Errorf("Figure3 output: %q", out)
+	}
+	if out := s.Figure4(); !strings.Contains(out, "dead within 1h") {
+		t.Errorf("Figure4 output: %q", out)
+	}
+	hc := stats.HomophilyConfig{SampleSize: 20, MinRetweets: 2, MaxDistance: 6, Seed: 1}
+	out, err := s.Table2(hc)
+	if err != nil || !strings.Contains(out, "impossible") {
+		t.Errorf("Table2: %v %q", err, out)
+	}
+	out, err = s.Table3(hc)
+	if err != nil || !strings.Contains(out, "Rank") {
+		t.Errorf("Table3: %v %q", err, out)
+	}
+}
+
+func TestSimGraphStructureRenders(t *testing.T) {
+	s := testSuite(t)
+	out, err := s.Table4(8)
+	if err != nil || !strings.Contains(out, "Nb of edges") {
+		t.Errorf("Table4: %v %q", err, out)
+	}
+	out, err = s.Figure5(8)
+	if err != nil || !strings.Contains(out, "SimGraph") {
+		t.Errorf("Figure5: %v %q", err, out)
+	}
+}
+
+func TestEvaluationFiguresRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full replay is slow")
+	}
+	s := testSuite(t)
+	if err := s.EnsureRuns(nil); err != nil {
+		t.Fatal(err)
+	}
+	figures := []struct {
+		name string
+		run  func() (string, error)
+		want string
+	}{
+		{"fig7", s.Figure7, "recommendations per day"},
+		{"fig8", s.Figure8, "hits"},
+		{"fig9", s.Figure9, "low-activity"},
+		{"fig10", s.Figure10, "moderate"},
+		{"fig11", s.Figure11, "intensive"},
+		{"fig12", s.Figure12, "popularity"},
+		{"fig13", s.Figure13, "common"},
+		{"fig14", s.Figure14, "F1"},
+		{"table5", s.Table5, "init"},
+		{"fig15", s.Figure15, "advance"},
+	}
+	for _, f := range figures {
+		out, err := f.run()
+		if err != nil {
+			t.Fatalf("%s: %v", f.name, err)
+		}
+		if !strings.Contains(out, f.want) {
+			t.Errorf("%s output missing %q:\n%s", f.name, f.want, out)
+		}
+		// Every evaluated method appears in each figure except fig13,
+		// which omits SimGraph by construction.
+		for _, m := range MethodNames {
+			if f.name == "fig13" && m == "SimGraph" {
+				continue
+			}
+			if !strings.Contains(out, m) {
+				t.Errorf("%s output missing method %s", f.name, m)
+			}
+		}
+	}
+	// Cached metrics are reachable.
+	if s.Metrics("SimGraph") == nil {
+		t.Error("metrics cache empty")
+	}
+}

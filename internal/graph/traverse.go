@@ -1,0 +1,219 @@
+package graph
+
+import (
+	"math"
+
+	"repro/internal/ids"
+)
+
+// Unreachable marks nodes with no path from the BFS source.
+const Unreachable = int32(-1)
+
+// BFS computes distances (in hops, following out-edges) from src to every
+// node. The dist slice is reused if it has the right length, otherwise a
+// new one is allocated; it is returned either way.
+func (g *Graph) BFS(src ids.UserID, dist []int32) []int32 {
+	if len(dist) != g.n {
+		dist = make([]int32, g.n)
+	}
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	queue := make([]ids.UserID, 0, 1024)
+	queue = append(queue, src)
+	dist[src] = 0
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		for _, v := range g.Out(u) {
+			if dist[v] == Unreachable {
+				dist[v] = du + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// BFSBounded returns the set of nodes at distance 1..maxHops from src
+// (following out-edges), excluding src itself, along with each node's
+// distance. Intended for the 2-hop neighbourhood exploration N2(u); it
+// touches only the visited frontier so it is fast on sparse graphs.
+func (g *Graph) BFSBounded(src ids.UserID, maxHops int) (nodes []ids.UserID, dist []int8) {
+	type item struct {
+		u ids.UserID
+		d int8
+	}
+	seen := map[ids.UserID]int8{src: 0}
+	queue := []item{{src, 0}}
+	for head := 0; head < len(queue); head++ {
+		it := queue[head]
+		if int(it.d) >= maxHops {
+			continue
+		}
+		for _, v := range g.Out(it.u) {
+			if _, ok := seen[v]; ok {
+				continue
+			}
+			seen[v] = it.d + 1
+			queue = append(queue, item{v, it.d + 1})
+		}
+	}
+	nodes = make([]ids.UserID, 0, len(seen)-1)
+	dist = make([]int8, 0, len(seen)-1)
+	for _, it := range queue[1:] {
+		nodes = append(nodes, it.u)
+		dist = append(dist, it.d)
+	}
+	return nodes, dist
+}
+
+// Neighborhood2 returns the distinct nodes reachable from src in at most
+// two hops following out-edges, excluding src. This is the paper's N2(u).
+func (g *Graph) Neighborhood2(src ids.UserID) []ids.UserID {
+	nodes, _ := g.BFSBounded(src, 2)
+	return nodes
+}
+
+// PathLengthDistribution BFS-samples shortest-path lengths from sources
+// chosen by the caller and histograms them. hist[d] counts ordered pairs
+// (s, v) with dist(s, v) == d for d >= 1; unreachable pairs are counted in
+// the returned impossible total.
+func (g *Graph) PathLengthDistribution(sources []ids.UserID) (hist []int64, impossible int64) {
+	dist := make([]int32, g.n)
+	for _, s := range sources {
+		dist = g.BFS(s, dist)
+		for v, d := range dist {
+			if ids.UserID(v) == s {
+				continue
+			}
+			switch {
+			case d == Unreachable:
+				impossible++
+			default:
+				for int(d) >= len(hist) {
+					hist = append(hist, 0)
+				}
+				hist[d]++
+			}
+		}
+	}
+	return hist, impossible
+}
+
+// AveragePathLength estimates the mean shortest-path length over reachable
+// pairs using the given BFS sources.
+func (g *Graph) AveragePathLength(sources []ids.UserID) float64 {
+	hist, _ := g.PathLengthDistribution(sources)
+	var sum, cnt float64
+	for d, c := range hist {
+		sum += float64(d) * float64(c)
+		cnt += float64(c)
+	}
+	if cnt == 0 {
+		return math.NaN()
+	}
+	return sum / cnt
+}
+
+// EstimateDiameter lower-bounds the diameter with the double-sweep
+// heuristic repeated from several starting points: BFS from a start, then
+// BFS again from the farthest node found. It returns the largest finite
+// eccentricity observed.
+func (g *Graph) EstimateDiameter(starts []ids.UserID) int {
+	best := 0
+	dist := make([]int32, g.n)
+	for _, s := range starts {
+		for sweep := 0; sweep < 2; sweep++ {
+			dist = g.BFS(s, dist)
+			far, fd := s, int32(0)
+			for v, d := range dist {
+				if d > fd {
+					fd, far = d, ids.UserID(v)
+				}
+			}
+			if int(fd) > best {
+				best = int(fd)
+			}
+			s = far
+		}
+	}
+	return best
+}
+
+// LargestWeakComponent returns the node set of the largest weakly
+// connected component (treating edges as undirected).
+func (g *Graph) LargestWeakComponent() []ids.UserID {
+	comp := make([]int32, g.n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var queue []ids.UserID
+	bestID, bestSize := int32(-1), 0
+	sizes := []int{}
+	next := int32(0)
+	for s := 0; s < g.n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		id := next
+		next++
+		size := 0
+		queue = queue[:0]
+		queue = append(queue, ids.UserID(s))
+		comp[s] = id
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			size++
+			for _, v := range g.Out(u) {
+				if comp[v] == -1 {
+					comp[v] = id
+					queue = append(queue, v)
+				}
+			}
+			for _, v := range g.In(u) {
+				if comp[v] == -1 {
+					comp[v] = id
+					queue = append(queue, v)
+				}
+			}
+		}
+		sizes = append(sizes, size)
+		if size > bestSize {
+			bestSize, bestID = size, id
+		}
+	}
+	out := make([]ids.UserID, 0, bestSize)
+	for v := 0; v < g.n; v++ {
+		if comp[v] == bestID {
+			out = append(out, ids.UserID(v))
+		}
+	}
+	return out
+}
+
+// Distance returns the shortest-path hop count from u to v following
+// out-edges, or -1 if unreachable. It runs a targeted BFS that stops as
+// soon as v is settled.
+func (g *Graph) Distance(u, v ids.UserID) int {
+	if u == v {
+		return 0
+	}
+	seen := map[ids.UserID]int32{u: 0}
+	queue := []ids.UserID{u}
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		d := seen[cur]
+		for _, w := range g.Out(cur) {
+			if _, ok := seen[w]; ok {
+				continue
+			}
+			if w == v {
+				return int(d + 1)
+			}
+			seen[w] = d + 1
+			queue = append(queue, w)
+		}
+	}
+	return -1
+}

@@ -1,0 +1,267 @@
+// Package graphjet re-implements Twitter's GraphJet recommender (Sharma
+// et al., VLDB 2016) as the paper's third baseline: a real-time bipartite
+// user–tweet interaction graph held in a circular buffer of temporal
+// segments, queried with Monte-Carlo random walks (a SALSA variant) that
+// start from the query user and alternate user→tweet→user hops.
+//
+// The hallmarks the evaluation relies on (§6): no initialization phase —
+// the index is just the most recent interactions; per-*user* (not
+// per-message) query cost; and a strong popularity bias, because walks
+// reach a tweet with probability roughly proportional to its interaction
+// count (Figure 12: highest average hit popularity).
+package graphjet
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/ids"
+	"repro/internal/recsys"
+	"repro/internal/xrand"
+)
+
+// Config tunes the GraphJet baseline.
+type Config struct {
+	// SegmentSpan is the time covered by one segment.
+	SegmentSpan ids.Timestamp
+	// NumSegments is the circular-buffer length; the index covers
+	// SegmentSpan×NumSegments of history.
+	NumSegments int
+	// Walks is the number of Monte-Carlo walks per query.
+	Walks int
+	// WalkDepth is the number of user→tweet→user rounds per walk.
+	WalkDepth int
+	// ResetProb teleports a walk back to the query user.
+	ResetProb float64
+	// MinVisits drops tweets visited fewer times than this from the
+	// result: single-visit tweets are random-walk noise, and filtering
+	// them caps the useful recommendation count well below k for most
+	// users (the Figure 7 saturation GraphJet exhibits).
+	MinVisits int
+}
+
+// DefaultConfig returns the experiment configuration: a 3-day window in
+// 12-hour segments, matching the paper's freshness horizon.
+func DefaultConfig() Config {
+	return Config{
+		SegmentSpan: 12 * ids.Hour,
+		NumSegments: 6,
+		Walks:       800,
+		WalkDepth:   3,
+		ResetProb:   0.3,
+		MinVisits:   2,
+	}
+}
+
+// segment is one immutable-after-rotation slice of the bipartite graph.
+// Adjacency lists are append-only, mirroring GraphJet's memory pools.
+type segment struct {
+	start     ids.Timestamp
+	byUser    map[ids.UserID][]ids.TweetID
+	byTweet   map[ids.TweetID][]ids.UserID
+	numEvents int
+}
+
+func newSegment(start ids.Timestamp) *segment {
+	return &segment{
+		start:   start,
+		byUser:  make(map[ids.UserID][]ids.TweetID),
+		byTweet: make(map[ids.TweetID][]ids.UserID),
+	}
+}
+
+// Recommender is the GraphJet baseline. Not safe for concurrent use.
+type Recommender struct {
+	cfg      Config
+	ds       *dataset.Dataset
+	segments []*segment // oldest..newest
+	rng      *xrand.RNG
+	seed     uint64
+}
+
+// New returns a GraphJet recommender.
+func New(cfg Config) *Recommender {
+	if cfg.NumSegments <= 0 {
+		cfg.NumSegments = 6
+	}
+	if cfg.SegmentSpan <= 0 {
+		cfg.SegmentSpan = 12 * ids.Hour
+	}
+	if cfg.Walks <= 0 {
+		cfg.Walks = 800
+	}
+	if cfg.WalkDepth <= 0 {
+		cfg.WalkDepth = 3
+	}
+	return &Recommender{cfg: cfg}
+}
+
+// Name implements recsys.Recommender.
+func (r *Recommender) Name() string { return "GraphJet" }
+
+// Init replays the tail of the training log into the segment buffer —
+// GraphJet has no model to train, its "state" is just the recent
+// interaction window (Table 5 reports its init as zero).
+func (r *Recommender) Init(ctx *recsys.Context) error {
+	r.ds = ctx.Dataset
+	r.seed = ctx.Seed
+	r.rng = xrand.New(ctx.Seed ^ 0x6a72617068) // independent stream
+	r.segments = nil
+
+	window := r.cfg.SegmentSpan * ids.Timestamp(r.cfg.NumSegments)
+	if n := len(ctx.Train); n > 0 {
+		cutoff := ctx.Train[n-1].Time - window
+		for _, a := range ctx.Train {
+			if a.Time >= cutoff {
+				r.insert(a)
+			}
+		}
+	}
+	return nil
+}
+
+// Observe indexes one interaction.
+func (r *Recommender) Observe(a dataset.Action) { r.insert(a) }
+
+// insert places the interaction into the segment for its timestamp,
+// rotating the circular buffer forward as time advances.
+func (r *Recommender) insert(a dataset.Action) {
+	segStart := a.Time - a.Time%r.cfg.SegmentSpan
+	if len(r.segments) == 0 || segStart > r.segments[len(r.segments)-1].start {
+		r.segments = append(r.segments, newSegment(segStart))
+		if len(r.segments) > r.cfg.NumSegments {
+			r.segments = r.segments[len(r.segments)-r.cfg.NumSegments:]
+		}
+	}
+	seg := r.segments[len(r.segments)-1]
+	if segStart < seg.start {
+		// Late event for an older segment: find it (rare; linear scan
+		// over a handful of segments).
+		for _, s := range r.segments {
+			if s.start == segStart {
+				seg = s
+				break
+			}
+		}
+	}
+	seg.byUser[a.User] = append(seg.byUser[a.User], a.Tweet)
+	seg.byTweet[a.Tweet] = append(seg.byTweet[a.Tweet], a.User)
+	seg.numEvents++
+}
+
+// leftDegree returns the number of indexed interactions of u and a
+// sampler over them spanning all live segments.
+func (r *Recommender) sampleTweetOf(u ids.UserID) (ids.TweetID, bool) {
+	total := 0
+	for _, s := range r.segments {
+		total += len(s.byUser[u])
+	}
+	if total == 0 {
+		return 0, false
+	}
+	i := r.rng.Intn(total)
+	for _, s := range r.segments {
+		l := s.byUser[u]
+		if i < len(l) {
+			return l[i], true
+		}
+		i -= len(l)
+	}
+	return 0, false // unreachable
+}
+
+func (r *Recommender) sampleUserOf(t ids.TweetID) (ids.UserID, bool) {
+	total := 0
+	for _, s := range r.segments {
+		total += len(s.byTweet[t])
+	}
+	if total == 0 {
+		return 0, false
+	}
+	i := r.rng.Intn(total)
+	for _, s := range r.segments {
+		l := s.byTweet[t]
+		if i < len(l) {
+			return l[i], true
+		}
+		i -= len(l)
+	}
+	return 0, false
+}
+
+// interacted reports whether u already interacted with t in the window.
+func (r *Recommender) interacted(u ids.UserID, t ids.TweetID) bool {
+	for _, s := range r.segments {
+		for _, x := range s.byUser[u] {
+			if x == t {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Recommend runs Monte-Carlo SALSA walks from u and returns the most
+// visited fresh tweets u has not interacted with. When u has no indexed
+// interactions, the walk seeds from u's followees' interactions (the
+// cold-start fallback §4.1 mentions).
+func (r *Recommender) Recommend(u ids.UserID, k int, now ids.Timestamp) []recsys.ScoredTweet {
+	// Deterministic per query: reseed from (seed, user, day).
+	r.rng = xrand.New(r.seed ^ uint64(u)*0x9e3779b97f4a7c15 ^ uint64(now))
+
+	seedsUsers := r.walkSeeds(u)
+	if len(seedsUsers) == 0 {
+		return nil
+	}
+	visits := make(map[ids.TweetID]int)
+	for w := 0; w < r.cfg.Walks; w++ {
+		cur := seedsUsers[r.rng.Intn(len(seedsUsers))]
+		for d := 0; d < r.cfg.WalkDepth; d++ {
+			t, ok := r.sampleTweetOf(cur)
+			if !ok {
+				break
+			}
+			visits[t]++
+			nxt, ok := r.sampleUserOf(t)
+			if !ok {
+				break
+			}
+			cur = nxt
+			if r.rng.Float64() < r.cfg.ResetProb {
+				cur = seedsUsers[r.rng.Intn(len(seedsUsers))]
+			}
+		}
+	}
+	top := recsys.NewTopK(k)
+	maxAge := r.cfg.SegmentSpan * ids.Timestamp(r.cfg.NumSegments)
+	for t, c := range visits {
+		if c < r.cfg.MinVisits || r.interacted(u, t) {
+			continue
+		}
+		if now-r.ds.Tweets[t].Time > maxAge {
+			continue
+		}
+		top.Offer(t, float64(c))
+	}
+	return top.Ranked()
+}
+
+// walkSeeds returns the users whose interactions seed the walks: u if
+// active in the window, otherwise u's followees that are active.
+func (r *Recommender) walkSeeds(u ids.UserID) []ids.UserID {
+	for _, s := range r.segments {
+		if len(s.byUser[u]) > 0 {
+			return []ids.UserID{u}
+		}
+	}
+	var seeds []ids.UserID
+	for _, v := range r.ds.Graph.Out(u) {
+		for _, s := range r.segments {
+			if len(s.byUser[v]) > 0 {
+				seeds = append(seeds, v)
+				break
+			}
+		}
+	}
+	return seeds
+}
+
+var _ recsys.Recommender = (*Recommender)(nil)

@@ -1,0 +1,168 @@
+package graphjet
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/ids"
+	"repro/internal/recsys"
+)
+
+func smallCtx() (*recsys.Context, *Recommender) {
+	b := graph.NewBuilder(5, 3)
+	b.SetNumNodes(5)
+	b.AddEdge(0, 1) // 0 follows 1 (cold-start fallback path)
+	b.AddEdge(0, 2)
+	g := b.Build()
+	tweets := make([]dataset.Tweet, 20)
+	train := []dataset.Action{
+		{User: 1, Tweet: 0, Time: 1},
+		{User: 2, Tweet: 0, Time: 2},
+		{User: 1, Tweet: 1, Time: 3},
+	}
+	ds := &dataset.Dataset{Graph: g, Tweets: tweets, Actions: train}
+	ctx := recsys.NewContext(ds, train, []ids.UserID{0, 1}, 7)
+	cfg := DefaultConfig()
+	cfg.Walks = 200
+	cfg.MinVisits = 1
+	r := New(cfg)
+	if err := r.Init(ctx); err != nil {
+		panic(err)
+	}
+	return ctx, r
+}
+
+func TestSegmentsIndexInteractions(t *testing.T) {
+	_, r := smallCtx()
+	if len(r.segments) == 0 {
+		t.Fatal("no segments after init")
+	}
+	total := 0
+	for _, s := range r.segments {
+		total += s.numEvents
+	}
+	if total != 3 {
+		t.Fatalf("indexed %d events, want 3", total)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	_, r := smallCtx()
+	span := r.cfg.SegmentSpan
+	// Stream events across more segment spans than the buffer holds.
+	for i := 0; i < r.cfg.NumSegments+3; i++ {
+		r.Observe(dataset.Action{User: 3, Tweet: 2, Time: ids.Timestamp(i) * span})
+	}
+	if len(r.segments) != r.cfg.NumSegments {
+		t.Fatalf("buffer holds %d segments, want %d", len(r.segments), r.cfg.NumSegments)
+	}
+	// Oldest events rotated out.
+	if r.interacted(1, 0) {
+		t.Error("ancient interaction still indexed after rotation")
+	}
+}
+
+func TestRecommendFromOwnInteractions(t *testing.T) {
+	_, r := smallCtx()
+	// User 2 interacted with tweet 0; walks from 2 must find tweet 1
+	// (via co-interactor 1) and never return tweet 0 (already seen).
+	recs := r.Recommend(2, 5, 10)
+	for _, rec := range recs {
+		if rec.Tweet == 0 {
+			t.Fatal("recommended an already-interacted tweet")
+		}
+	}
+	found := false
+	for _, rec := range recs {
+		if rec.Tweet == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("SALSA walk missed the co-interaction tweet: %+v", recs)
+	}
+}
+
+func TestColdStartFallbackToFollowees(t *testing.T) {
+	_, r := smallCtx()
+	// User 0 has no interactions but follows 1 and 2 who do.
+	recs := r.Recommend(0, 5, 10)
+	if len(recs) == 0 {
+		t.Fatal("cold-start fallback produced nothing")
+	}
+}
+
+func TestNoSeedsNoRecs(t *testing.T) {
+	_, r := smallCtx()
+	// User 4 has no interactions and follows nobody.
+	if recs := r.Recommend(4, 5, 10); len(recs) != 0 {
+		t.Fatalf("isolated user got recommendations: %+v", recs)
+	}
+}
+
+func TestRecommendDeterministicPerQuery(t *testing.T) {
+	_, r := smallCtx()
+	a := r.Recommend(2, 5, 10)
+	b := r.Recommend(2, 5, 10)
+	if len(a) != len(b) {
+		t.Fatal("same query differs in length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same query, different results")
+		}
+	}
+}
+
+func TestFreshnessWindowEnforced(t *testing.T) {
+	_, r := smallCtx()
+	// Asking far in the future: indexed tweets are older than the window
+	// (but still in segments until rotation) — they must be filtered.
+	window := r.cfg.SegmentSpan * ids.Timestamp(r.cfg.NumSegments)
+	if recs := r.Recommend(2, 5, window+1000); len(recs) != 0 {
+		t.Fatalf("stale tweets recommended: %+v", recs)
+	}
+}
+
+func TestMinVisitsFilters(t *testing.T) {
+	_, r := smallCtx()
+	r.cfg.MinVisits = 1 << 30 // impossible bar
+	if recs := r.Recommend(2, 5, 10); len(recs) != 0 {
+		t.Fatalf("MinVisits not applied: %+v", recs)
+	}
+}
+
+func TestEndToEndOnSynthetic(t *testing.T) {
+	cfg := gen.DefaultConfig(400, 5)
+	cfg.TweetsPerUser = 6
+	ds, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := ds.SplitByFraction(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tracked []ids.UserID
+	for u := 0; u < 40; u++ {
+		tracked = append(tracked, ids.UserID(u))
+	}
+	ctx := recsys.NewContext(ds, split.Train, tracked, 3)
+	r := New(DefaultConfig())
+	if err := r.Init(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range split.Test {
+		r.Observe(a)
+	}
+	now := split.Test[len(split.Test)-1].Time
+	produced := 0
+	for _, u := range tracked {
+		produced += len(r.Recommend(u, 10, now))
+	}
+	if produced == 0 {
+		t.Error("GraphJet produced nothing on synthetic data")
+	}
+}

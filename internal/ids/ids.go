@@ -1,0 +1,52 @@
+// Package ids defines the compact identifier and timestamp types shared by
+// every subsystem of the repository.
+//
+// The paper's dataset holds millions of users and billions of tweets; the
+// synthetic reproduction is smaller but the code keeps identifiers compact
+// (32-bit) so adjacency structures stay cache-friendly, exactly as a
+// production system would.
+package ids
+
+import "fmt"
+
+// UserID identifies a user account. IDs are dense: a dataset with n users
+// uses IDs 0..n-1, which lets every per-user table be a plain slice.
+type UserID uint32
+
+// TweetID identifies a tweet (post). IDs are dense in publication order:
+// TweetID i was published no later than TweetID j for i < j.
+type TweetID uint32
+
+// NoUser is a sentinel for "no user" in optional fields.
+const NoUser = UserID(^uint32(0))
+
+// NoTweet is a sentinel for "no tweet" in optional fields.
+const NoTweet = TweetID(^uint32(0))
+
+// Timestamp is a simulation clock value in seconds since the dataset epoch.
+// Using a relative integer clock keeps datasets reproducible and free of
+// wall-clock or timezone concerns.
+type Timestamp int64
+
+// Common durations expressed on the simulation clock.
+const (
+	Second Timestamp = 1
+	Minute           = 60 * Second
+	Hour             = 60 * Minute
+	Day              = 24 * Hour
+)
+
+// String formats the timestamp as d:hh:mm:ss for debugging output.
+func (t Timestamp) String() string {
+	neg := ""
+	if t < 0 {
+		neg, t = "-", -t
+	}
+	return fmt.Sprintf("%s%dd%02dh%02dm%02ds", neg, t/Day, (t%Day)/Hour, (t%Hour)/Minute, t%Minute)
+}
+
+// Hours returns the timestamp as a floating-point number of hours.
+func (t Timestamp) Hours() float64 { return float64(t) / float64(Hour) }
+
+// Days returns the timestamp as a floating-point number of days.
+func (t Timestamp) Days() float64 { return float64(t) / float64(Day) }

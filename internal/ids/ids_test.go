@@ -1,0 +1,42 @@
+package ids
+
+import "testing"
+
+func TestTimestampString(t *testing.T) {
+	cases := []struct {
+		ts   Timestamp
+		want string
+	}{
+		{0, "0d00h00m00s"},
+		{Second, "0d00h00m01s"},
+		{Minute + 2*Second, "0d00h01m02s"},
+		{25*Hour + 3*Minute, "1d01h03m00s"},
+		{-Hour, "-0d01h00m00s"},
+	}
+	for _, c := range cases {
+		if got := c.ts.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.ts), got, c.want)
+		}
+	}
+}
+
+func TestTimestampConversions(t *testing.T) {
+	if h := (90 * Minute).Hours(); h != 1.5 {
+		t.Errorf("Hours = %v", h)
+	}
+	if d := (36 * Hour).Days(); d != 1.5 {
+		t.Errorf("Days = %v", d)
+	}
+}
+
+func TestUnitRatios(t *testing.T) {
+	if Minute != 60*Second || Hour != 60*Minute || Day != 24*Hour {
+		t.Fatal("time unit constants inconsistent")
+	}
+}
+
+func TestSentinels(t *testing.T) {
+	if NoUser == UserID(0) || NoTweet == TweetID(0) {
+		t.Fatal("sentinels collide with valid IDs")
+	}
+}

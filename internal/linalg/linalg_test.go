@@ -1,0 +1,187 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// small3x3 is the diagonally dominant system
+//
+//	[ 4 -1  0][x0]   [3]
+//	[-1  4 -1][x1] = [2]
+//	[ 0 -1  4][x2]   [3]
+//
+// with solution (1-ish) computable exactly: x = (0.9464, 0.7857, 0.9464).
+func small3x3(t *testing.T) (*CSR, []float64) {
+	t.Helper()
+	a, err := NewCSRFromTriplets(3, 3, []Triplet{
+		{0, 0, 4}, {0, 1, -1},
+		{1, 0, -1}, {1, 1, 4}, {1, 2, -1},
+		{2, 1, -1}, {2, 2, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, []float64{3, 2, 3}
+}
+
+func TestCSRBasics(t *testing.T) {
+	a, _ := small3x3(t)
+	if a.NNZ() != 7 {
+		t.Fatalf("NNZ = %d, want 7", a.NNZ())
+	}
+	if got := a.At(1, 2); got != -1 {
+		t.Errorf("At(1,2) = %v", got)
+	}
+	if got := a.At(0, 2); got != 0 {
+		t.Errorf("At(0,2) = %v, want 0", got)
+	}
+	cols, vals := a.Row(1)
+	if len(cols) != 3 || vals[1] != 4 {
+		t.Errorf("Row(1) = %v %v", cols, vals)
+	}
+}
+
+func TestCSRDuplicatesSummed(t *testing.T) {
+	a, err := NewCSRFromTriplets(2, 2, []Triplet{
+		{0, 0, 1}, {0, 0, 2}, {1, 1, 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.At(0, 0); got != 3 {
+		t.Errorf("duplicate entries not summed: %v", got)
+	}
+}
+
+func TestCSRRejectsOutOfRange(t *testing.T) {
+	if _, err := NewCSRFromTriplets(2, 2, []Triplet{{2, 0, 1}}); err == nil {
+		t.Fatal("expected error for out-of-range triplet")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := small3x3(t)
+	y := a.MulVec([]float64{1, 1, 1}, nil)
+	want := []float64{3, 2, 3}
+	for i := range want {
+		if math.Abs(y[i]-want[i]) > 1e-12 {
+			t.Fatalf("MulVec = %v, want %v", y, want)
+		}
+	}
+}
+
+func TestDominanceChecks(t *testing.T) {
+	a, _ := small3x3(t)
+	if !a.IsStrictlyDiagonallyDominant() {
+		t.Error("3x3 system should be diagonally dominant")
+	}
+	if n := a.IterationNorm(); math.Abs(n-0.5) > 1e-12 {
+		t.Errorf("IterationNorm = %v, want 0.5", n)
+	}
+	if n := a.InfNorm(); n != 6 {
+		t.Errorf("InfNorm = %v, want 6", n)
+	}
+	weak, _ := NewCSRFromTriplets(2, 2, []Triplet{{0, 0, 1}, {0, 1, 2}, {1, 1, 1}})
+	if weak.IsStrictlyDiagonallyDominant() {
+		t.Error("non-dominant matrix misreported")
+	}
+}
+
+func TestSolversAgree(t *testing.T) {
+	a, b := small3x3(t)
+	xj, stJ, err := Jacobi(a, b, nil, 1e-12, 1000)
+	if err != nil {
+		t.Fatalf("Jacobi: %v", err)
+	}
+	xg, stG, err := GaussSeidel(a, b, nil, 1e-12, 1000)
+	if err != nil {
+		t.Fatalf("GaussSeidel: %v", err)
+	}
+	xs, _, err := SOR(a, b, nil, 1.2, 1e-12, 1000)
+	if err != nil {
+		t.Fatalf("SOR: %v", err)
+	}
+	for i := range xj {
+		if math.Abs(xj[i]-xg[i]) > 1e-9 || math.Abs(xj[i]-xs[i]) > 1e-9 {
+			t.Fatalf("solvers disagree: J=%v GS=%v SOR=%v", xj, xg, xs)
+		}
+	}
+	// Gauss–Seidel should need no more iterations than Jacobi.
+	if stG.Iterations > stJ.Iterations {
+		t.Errorf("GS iterations %d > Jacobi %d", stG.Iterations, stJ.Iterations)
+	}
+	// The solution actually solves the system.
+	if r := Residual(a, xj, b); r > 1e-9 {
+		t.Errorf("residual %v", r)
+	}
+}
+
+func TestSolverErrors(t *testing.T) {
+	a, b := small3x3(t)
+	if _, _, err := SOR(a, b, nil, 2.5, 1e-12, 10); err == nil {
+		t.Error("SOR accepted omega out of range")
+	}
+	if _, _, err := Jacobi(a, []float64{1}, nil, 1e-12, 10); err == nil {
+		t.Error("Jacobi accepted mismatched b")
+	}
+	zero, _ := NewCSRFromTriplets(1, 1, []Triplet{{0, 0, 0}})
+	if _, _, err := Jacobi(zero, []float64{1}, nil, 1e-12, 10); err != ErrZeroDiagonal {
+		t.Errorf("expected ErrZeroDiagonal, got %v", err)
+	}
+	// Exhausting the budget must return ErrNoConvergence.
+	if _, _, err := Jacobi(a, b, nil, 1e-30, 1); err != ErrNoConvergence {
+		t.Errorf("expected ErrNoConvergence, got %v", err)
+	}
+}
+
+// Property: on random strictly diagonally dominant systems, Jacobi
+// converges and the result satisfies Ax ≈ b.
+func TestJacobiSolvesRandomDominantSystems(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 5 + rng.Intn(20)
+		var ts []Triplet
+		for r := 0; r < n; r++ {
+			var off float64
+			for c := 0; c < n; c++ {
+				if c == r || !rng.Bool(0.3) {
+					continue
+				}
+				v := rng.Float64()*2 - 1
+				off += math.Abs(v)
+				ts = append(ts, Triplet{r, c, v})
+			}
+			ts = append(ts, Triplet{r, r, off + 0.5 + rng.Float64()})
+		}
+		a, err := NewCSRFromTriplets(n, n, ts)
+		if err != nil {
+			return false
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.Float64()*4 - 2
+		}
+		x, _, err := Jacobi(a, b, nil, 1e-11, 5000)
+		if err != nil {
+			return false
+		}
+		return Residual(a, x, b) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiag(t *testing.T) {
+	a, _ := small3x3(t)
+	d := a.Diag()
+	for _, v := range d {
+		if v != 4 {
+			t.Fatalf("Diag = %v", d)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoConvergence is returned when an iterative solver exhausts its
+// iteration budget before reaching the requested tolerance.
+var ErrNoConvergence = errors.New("linalg: solver did not converge")
+
+// ErrZeroDiagonal is returned when a stationary method hits a zero
+// diagonal entry.
+var ErrZeroDiagonal = errors.New("linalg: zero diagonal entry")
+
+// SolveStats reports how a solve went.
+type SolveStats struct {
+	Iterations int
+	Residual   float64 // max-norm of the last update, not the true residual
+}
+
+// Jacobi solves Ax = b with the Jacobi method, starting from x (which may
+// be nil for a zero start). Convergence is declared when the max-norm of
+// the update falls below tol. Returns the solution and solve statistics.
+func Jacobi(a *CSR, b, x []float64, tol float64, maxIter int) ([]float64, SolveStats, error) {
+	n := a.Rows
+	if len(b) != n {
+		return nil, SolveStats{}, errors.New("linalg: Jacobi dimension mismatch")
+	}
+	if x == nil {
+		x = make([]float64, n)
+	}
+	next := make([]float64, n)
+	var st SolveStats
+	for st.Iterations = 1; st.Iterations <= maxIter; st.Iterations++ {
+		var maxDelta float64
+		for r := 0; r < n; r++ {
+			cols, vals := a.Row(r)
+			var diag, sum float64
+			for i, c := range cols {
+				if int(c) == r {
+					diag = vals[i]
+				} else {
+					sum += vals[i] * x[c]
+				}
+			}
+			if diag == 0 {
+				return nil, st, ErrZeroDiagonal
+			}
+			next[r] = (b[r] - sum) / diag
+			if d := math.Abs(next[r] - x[r]); d > maxDelta {
+				maxDelta = d
+			}
+		}
+		x, next = next, x
+		st.Residual = maxDelta
+		if maxDelta < tol {
+			return x, st, nil
+		}
+	}
+	return x, st, ErrNoConvergence
+}
+
+// GaussSeidel solves Ax = b with in-place sweeps, typically converging in
+// about half the Jacobi iterations on diagonally dominant systems.
+func GaussSeidel(a *CSR, b, x []float64, tol float64, maxIter int) ([]float64, SolveStats, error) {
+	return sorSolve(a, b, x, 1.0, tol, maxIter)
+}
+
+// SOR solves Ax = b with successive over-relaxation using factor omega in
+// (0, 2). omega == 1 is Gauss–Seidel.
+func SOR(a *CSR, b, x []float64, omega, tol float64, maxIter int) ([]float64, SolveStats, error) {
+	if omega <= 0 || omega >= 2 {
+		return nil, SolveStats{}, errors.New("linalg: SOR omega must be in (0,2)")
+	}
+	return sorSolve(a, b, x, omega, tol, maxIter)
+}
+
+func sorSolve(a *CSR, b, x []float64, omega, tol float64, maxIter int) ([]float64, SolveStats, error) {
+	n := a.Rows
+	if len(b) != n {
+		return nil, SolveStats{}, errors.New("linalg: dimension mismatch")
+	}
+	if x == nil {
+		x = make([]float64, n)
+	}
+	var st SolveStats
+	for st.Iterations = 1; st.Iterations <= maxIter; st.Iterations++ {
+		var maxDelta float64
+		for r := 0; r < n; r++ {
+			cols, vals := a.Row(r)
+			var diag, sum float64
+			for i, c := range cols {
+				if int(c) == r {
+					diag = vals[i]
+				} else {
+					sum += vals[i] * x[c]
+				}
+			}
+			if diag == 0 {
+				return nil, st, ErrZeroDiagonal
+			}
+			gs := (b[r] - sum) / diag
+			nx := x[r] + omega*(gs-x[r])
+			if d := math.Abs(nx - x[r]); d > maxDelta {
+				maxDelta = d
+			}
+			x[r] = nx
+		}
+		st.Residual = maxDelta
+		if maxDelta < tol {
+			return x, st, nil
+		}
+	}
+	return x, st, ErrNoConvergence
+}
+
+// Residual computes ‖Ax − b‖∞, the true residual of a candidate solution.
+func Residual(a *CSR, x, b []float64) float64 {
+	y := a.MulVec(x, nil)
+	var worst float64
+	for i := range y {
+		if d := math.Abs(y[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

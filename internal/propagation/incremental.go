@@ -1,0 +1,139 @@
+package propagation
+
+import (
+	"math"
+
+	"repro/internal/ids"
+	"repro/internal/wgraph"
+)
+
+// TweetState is the persistent, sparse propagation state of one tweet:
+// the current share probabilities of every user the propagation has
+// touched, plus the pinned seed set. It enables incremental propagation —
+// when a new sharer arrives, only the part of the similarity graph whose
+// scores actually change is recomputed, instead of re-running the fixpoint
+// from the full seed set.
+//
+// Correctness: the propagation operator is monotone in the seed set (all
+// weights are non-negative), so re-propagating from the newly changed
+// nodes with the previous scores as the starting point converges to the
+// same fixpoint Algorithm 1 reaches from scratch; the package tests
+// verify the equivalence.
+type TweetState struct {
+	P       map[ids.UserID]float64
+	Seeds   map[ids.UserID]struct{}
+	Changed []ids.UserID // users whose score changed in the last call
+}
+
+// NewTweetState returns empty per-tweet propagation state.
+func NewTweetState() *TweetState {
+	return &TweetState{
+		P:     make(map[ids.UserID]float64),
+		Seeds: make(map[ids.UserID]struct{}),
+	}
+}
+
+// Incremental runs incremental propagations over one similarity graph.
+// It owns scratch shared across tweets; not safe for concurrent use.
+type Incremental struct {
+	cfg   Config
+	g     wgraph.View
+	inQ   map[ids.UserID]struct{}
+	queue []ids.UserID
+}
+
+// NewIncremental returns an incremental propagator over g.
+func NewIncremental(g wgraph.View, cfg Config) *Incremental {
+	if cfg.Threshold == nil {
+		cfg.Threshold = StaticThreshold(1e-6)
+	}
+	if cfg.MaxIterations <= 0 {
+		cfg.MaxIterations = 200
+	}
+	return &Incremental{
+		cfg: cfg,
+		g:   g,
+		inQ: make(map[ids.UserID]struct{}),
+	}
+}
+
+// AddSeeds pins the given users to probability 1 in st and propagates the
+// change outward. popularity is the tweet's current retweet count (drives
+// the dynamic threshold). st.Changed lists every non-seed user whose
+// score changed.
+func (inc *Incremental) AddSeeds(st *TweetState, seeds []ids.UserID, popularity int) {
+	cutoff := inc.cfg.Threshold.Cutoff(popularity)
+	st.Changed = st.Changed[:0]
+	clear(inc.inQ)
+	inc.queue = inc.queue[:0]
+
+	n := inc.g.NumNodes()
+	for _, s := range seeds {
+		if int(s) >= n {
+			continue
+		}
+		if _, dup := st.Seeds[s]; dup {
+			continue
+		}
+		st.Seeds[s] = struct{}{}
+		st.P[s] = 1
+		inc.enqueueInfluenced(st, s)
+	}
+
+	// Budget: cap total recomputations like the dense algorithm caps
+	// iterations; with per-node work this is MaxIterations × a generous
+	// frontier width.
+	budget := inc.cfg.MaxIterations * 4096
+	changed := make(map[ids.UserID]struct{})
+	for head := 0; head < len(inc.queue) && budget > 0; head++ {
+		u := inc.queue[head]
+		delete(inc.inQ, u)
+		if _, isSeed := st.Seeds[u]; isSeed {
+			continue
+		}
+		budget--
+		nv := inc.recompute(st, u)
+		old := st.P[u]
+		delta := math.Abs(nv - old)
+		if nv == 0 && old == 0 {
+			continue
+		}
+		st.P[u] = nv
+		changed[u] = struct{}{}
+		if delta >= cutoff {
+			inc.enqueueInfluenced(st, u)
+		}
+	}
+	for u := range changed {
+		st.Changed = append(st.Changed, u)
+	}
+}
+
+// recompute evaluates Definition 4.2 for u against the sparse state.
+func (inc *Incremental) recompute(st *TweetState, u ids.UserID) float64 {
+	to, w := inc.g.Out(u)
+	if len(to) == 0 {
+		return 0
+	}
+	var sum float64
+	for i, v := range to {
+		if pv, ok := st.P[v]; ok && pv != 0 {
+			sum += pv * float64(w[i])
+		}
+	}
+	return sum / float64(len(to))
+}
+
+func (inc *Incremental) enqueueInfluenced(st *TweetState, v ids.UserID) {
+	from, _ := inc.g.In(v)
+	for _, u := range from {
+		if _, isSeed := st.Seeds[u]; isSeed {
+			continue
+		}
+		if _, queued := inc.inQ[u]; queued {
+			continue
+		}
+		inc.inQ[u] = struct{}{}
+		inc.queue = append(inc.queue, u)
+	}
+}

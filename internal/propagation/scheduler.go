@@ -1,0 +1,137 @@
+package propagation
+
+import (
+	"container/heap"
+
+	"repro/internal/ids"
+)
+
+// Scheduler implements the paper's "postponed computation" optimization:
+// instead of propagating on every retweet, retweets are batched per tweet
+// and the propagation runs when the tweet's time frame δ expires. The
+// frame length adapts to the tweet's activity — hot tweets are flushed
+// quickly (they change fast and feed many recommendations), quiet tweets
+// wait longer (their scores barely move).
+//
+// The scheduler is a pure data structure over the simulation clock: feed
+// it observed retweets with Observe, advance time with Due, and propagate
+// the batches it returns. It is not safe for concurrent use.
+type Scheduler struct {
+	// MinDelay and MaxDelay bound the adaptive frame length.
+	MinDelay, MaxDelay ids.Timestamp
+	// HotRate is the retweets-per-hour rate at which the delay reaches
+	// MinDelay.
+	HotRate float64
+
+	pending map[ids.TweetID]*batch
+	pq      batchHeap
+}
+
+type batch struct {
+	tweet     ids.TweetID
+	users     []ids.UserID
+	first     ids.Timestamp // first unflushed retweet
+	due       ids.Timestamp
+	total     int // lifetime retweet count (drives the rate estimate)
+	heapIndex int
+}
+
+// NewScheduler returns a scheduler with the given frame bounds.
+func NewScheduler(minDelay, maxDelay ids.Timestamp, hotRate float64) *Scheduler {
+	if minDelay <= 0 {
+		minDelay = ids.Minute
+	}
+	if maxDelay < minDelay {
+		maxDelay = minDelay
+	}
+	if hotRate <= 0 {
+		hotRate = 12
+	}
+	return &Scheduler{
+		MinDelay: minDelay,
+		MaxDelay: maxDelay,
+		HotRate:  hotRate,
+		pending:  make(map[ids.TweetID]*batch),
+	}
+}
+
+// Observe records a retweet of tweet by user at time now. totalRetweets is
+// the tweet's lifetime retweet count including this one.
+func (s *Scheduler) Observe(tweet ids.TweetID, user ids.UserID, now ids.Timestamp, totalRetweets int) {
+	b := s.pending[tweet]
+	if b == nil {
+		b = &batch{tweet: tweet, first: now}
+		s.pending[tweet] = b
+		b.total = totalRetweets
+		b.due = now + s.delayFor(b)
+		heap.Push(&s.pq, b)
+	} else {
+		b.total = totalRetweets
+		// A burst shortens the frame: recompute the due time from the
+		// first unflushed retweet and fix the heap.
+		if due := b.first + s.delayFor(b); due < b.due {
+			b.due = due
+			heap.Fix(&s.pq, b.heapIndex)
+		}
+	}
+	b.users = append(b.users, user)
+}
+
+// delayFor maps a tweet's activity to a frame length: linear
+// interpolation from MaxDelay (cold) down to MinDelay at HotRate
+// retweets/hour and beyond.
+func (s *Scheduler) delayFor(b *batch) ids.Timestamp {
+	rate := float64(b.total) // proxy: total count ≈ recent rate for short-lived tweets
+	frac := rate / s.HotRate
+	if frac > 1 {
+		frac = 1
+	}
+	return s.MaxDelay - ids.Timestamp(float64(s.MaxDelay-s.MinDelay)*frac)
+}
+
+// Batch is a flushed group of retweets for one tweet, ready to propagate.
+type Batch struct {
+	Tweet ids.TweetID
+	Users []ids.UserID
+}
+
+// Due pops every batch whose frame expired at or before now.
+func (s *Scheduler) Due(now ids.Timestamp) []Batch {
+	var out []Batch
+	for s.pq.Len() > 0 && s.pq[0].due <= now {
+		b := heap.Pop(&s.pq).(*batch)
+		delete(s.pending, b.tweet)
+		out = append(out, Batch{Tweet: b.tweet, Users: b.users})
+	}
+	return out
+}
+
+// Flush pops every pending batch regardless of due time (end of stream).
+func (s *Scheduler) Flush() []Batch {
+	var out []Batch
+	for s.pq.Len() > 0 {
+		b := heap.Pop(&s.pq).(*batch)
+		delete(s.pending, b.tweet)
+		out = append(out, Batch{Tweet: b.tweet, Users: b.users})
+	}
+	return out
+}
+
+// Pending returns the number of tweets with unflushed retweets.
+func (s *Scheduler) Pending() int { return len(s.pending) }
+
+// batchHeap is a min-heap on due time.
+type batchHeap []*batch
+
+func (h batchHeap) Len() int            { return len(h) }
+func (h batchHeap) Less(i, j int) bool  { return h[i].due < h[j].due }
+func (h batchHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].heapIndex = i; h[j].heapIndex = j }
+func (h *batchHeap) Push(x interface{}) { b := x.(*batch); b.heapIndex = len(*h); *h = append(*h, b) }
+func (h *batchHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	b := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return b
+}

@@ -1,0 +1,169 @@
+package simgraph
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/ids"
+	"repro/internal/propagation"
+	"repro/internal/recsys"
+	"repro/internal/wgraph"
+)
+
+// RecommenderConfig tunes the end-to-end SimGraph recommender.
+type RecommenderConfig struct {
+	// Graph controls similarity-graph construction.
+	Graph Config
+	// Prop controls the propagation engine.
+	Prop propagation.Config
+	// Postpone enables the batched propagation scheduler (§5.4). With
+	// postponement off, every observed retweet propagates immediately
+	// (incrementally from the new sharer).
+	Postpone bool
+	// PostponeMin/PostponeMax bound the adaptive time frame δ.
+	PostponeMin, PostponeMax ids.Timestamp
+	// MaxAge evicts per-tweet propagation state once the tweet exceeds
+	// this age — §3.1.2: scores need not be computed after 72 h.
+	MaxAge ids.Timestamp
+}
+
+// DefaultRecommenderConfig returns the experiment configuration:
+// dynamic threshold, immediate incremental propagation.
+func DefaultRecommenderConfig() RecommenderConfig {
+	prop := propagation.DefaultConfig()
+	prop.Threshold = propagation.NewDynamicThreshold()
+	return RecommenderConfig{
+		Graph:       DefaultConfig(),
+		Prop:        prop,
+		Postpone:    false,
+		PostponeMin: 10 * ids.Minute,
+		PostponeMax: 4 * ids.Hour,
+		MaxAge:      72 * ids.Hour,
+	}
+}
+
+// Recommender is the paper's system: similarity graph + propagation.
+// It implements recsys.Recommender. Not safe for concurrent use.
+type Recommender struct {
+	cfg   RecommenderConfig
+	ds    *dataset.Dataset
+	sim   *wgraph.Graph
+	inc   *propagation.Incremental
+	pool  *recsys.Pool
+	sched *propagation.Scheduler
+
+	// Per-tweet propagation state with lifetime eviction.
+	states map[ids.TweetID]*propagation.TweetState
+	counts map[ids.TweetID]int
+	// evictQueue holds tweets in first-seen order for cheap age eviction.
+	evictQueue []ids.TweetID
+	evictHead  int
+}
+
+// NewRecommender returns an untrained SimGraph recommender.
+func NewRecommender(cfg RecommenderConfig) *Recommender {
+	if cfg.MaxAge <= 0 {
+		cfg.MaxAge = 72 * ids.Hour
+	}
+	return &Recommender{cfg: cfg}
+}
+
+// Name implements recsys.Recommender.
+func (r *Recommender) Name() string { return "SimGraph" }
+
+// Graph exposes the built similarity graph (after Init).
+func (r *Recommender) Graph() *wgraph.Graph { return r.sim }
+
+// Init builds the similarity graph from the training profiles.
+func (r *Recommender) Init(ctx *recsys.Context) error {
+	r.ds = ctx.Dataset
+	r.sim = Build(ctx.Dataset.Graph, ctx.Store, r.cfg.Graph)
+	r.attach(ctx)
+	return nil
+}
+
+// InitWithGraph installs a pre-built similarity graph (used by the
+// update-strategy experiment, which builds variants outside Init).
+func (r *Recommender) InitWithGraph(ctx *recsys.Context, g *wgraph.Graph) {
+	r.ds = ctx.Dataset
+	r.sim = g
+	r.attach(ctx)
+}
+
+func (r *Recommender) attach(ctx *recsys.Context) {
+	r.inc = propagation.NewIncremental(r.sim, r.cfg.Prop)
+	r.pool = recsys.NewPool(ctx.Tracked, func(t ids.TweetID) ids.Timestamp {
+		return r.ds.Tweets[t].Time
+	}, ctx.MaxAge)
+	r.states = make(map[ids.TweetID]*propagation.TweetState)
+	r.counts = make(map[ids.TweetID]int)
+	r.evictQueue = nil
+	r.evictHead = 0
+	if r.cfg.Postpone {
+		r.sched = propagation.NewScheduler(r.cfg.PostponeMin, r.cfg.PostponeMax, 12)
+	}
+}
+
+// Observe feeds one retweet from the test stream. Propagation runs
+// incrementally from the new sharer, immediately or on the postponed
+// schedule.
+func (r *Recommender) Observe(a dataset.Action) {
+	r.pool.MarkRetweeted(a.User, a.Tweet)
+	r.counts[a.Tweet]++
+	r.evictExpired(a.Time)
+
+	if r.sched == nil {
+		r.addSeeds(a.Tweet, []ids.UserID{a.User})
+		return
+	}
+	r.sched.Observe(a.Tweet, a.User, a.Time, r.counts[a.Tweet])
+	for _, b := range r.sched.Due(a.Time) {
+		r.addSeeds(b.Tweet, b.Users)
+	}
+}
+
+// addSeeds propagates new sharers of one tweet and refreshes pooled
+// scores for the users whose probability changed.
+func (r *Recommender) addSeeds(t ids.TweetID, users []ids.UserID) {
+	st := r.states[t]
+	if st == nil {
+		st = propagation.NewTweetState()
+		r.states[t] = st
+		r.evictQueue = append(r.evictQueue, t)
+		// The author is an implicit sharer of their own post.
+		users = append([]ids.UserID{r.ds.Tweets[t].Author}, users...)
+	}
+	r.inc.AddSeeds(st, users, r.counts[t])
+	for _, u := range st.Changed {
+		r.pool.Bump(u, t, st.P[u])
+	}
+}
+
+// evictExpired drops propagation state of tweets past the freshness
+// horizon. Tweets enter evictQueue in first-propagation order, which is
+// publication-correlated, so a prefix scan suffices.
+func (r *Recommender) evictExpired(now ids.Timestamp) {
+	for r.evictHead < len(r.evictQueue) {
+		t := r.evictQueue[r.evictHead]
+		if now-r.ds.Tweets[t].Time <= r.cfg.MaxAge {
+			break
+		}
+		delete(r.states, t)
+		r.evictHead++
+	}
+	// Compact occasionally so the queue does not grow without bound.
+	if r.evictHead > 4096 && r.evictHead*2 > len(r.evictQueue) {
+		r.evictQueue = append([]ids.TweetID(nil), r.evictQueue[r.evictHead:]...)
+		r.evictHead = 0
+	}
+}
+
+// Recommend implements recsys.Recommender.
+func (r *Recommender) Recommend(u ids.UserID, k int, now ids.Timestamp) []recsys.ScoredTweet {
+	if r.sched != nil {
+		for _, b := range r.sched.Due(now) {
+			r.addSeeds(b.Tweet, b.Users)
+		}
+	}
+	return r.pool.TopK(u, k, now)
+}
+
+var _ recsys.Recommender = (*Recommender)(nil)

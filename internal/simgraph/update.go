@@ -1,0 +1,143 @@
+package simgraph
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/ids"
+	"repro/internal/similarity"
+	"repro/internal/wgraph"
+)
+
+// UpdateStrategy names the §6.3 maintenance strategies compared in
+// Figure 16.
+type UpdateStrategy int
+
+// The four strategies from the paper, in the order Figure 16 plots them.
+const (
+	// FromScratch rebuilds the whole similarity graph from the follow
+	// graph with the refreshed profiles. Best quality, full cost.
+	FromScratch UpdateStrategy = iota
+	// KeepOld keeps the stale similarity graph untouched.
+	KeepOld
+	// Crossfold re-runs the 2-hop exploration *on the previous similarity
+	// graph* instead of the follow graph: it both refreshes weights and
+	// discovers new influential users reachable through existing
+	// similarity edges, at a fraction of the from-scratch cost.
+	Crossfold
+	// UpdateWeights recomputes the weights of existing edges with the
+	// refreshed profiles but adds no new edges.
+	UpdateWeights
+)
+
+func (s UpdateStrategy) String() string {
+	switch s {
+	case FromScratch:
+		return "from scratch"
+	case KeepOld:
+		return "old SimGraph"
+	case Crossfold:
+		return "crossfold"
+	case UpdateWeights:
+		return "SimGraph updated"
+	default:
+		return fmt.Sprintf("UpdateStrategy(%d)", int(s))
+	}
+}
+
+// AllUpdateStrategies lists the strategies in Figure 16 order.
+var AllUpdateStrategies = []UpdateStrategy{FromScratch, KeepOld, Crossfold, UpdateWeights}
+
+// Update applies a maintenance strategy. prev is the similarity graph
+// built earlier; store must already contain the newly observed actions
+// (refreshed profiles and popularities); follow is needed only by
+// FromScratch. The returned graph is freshly built (prev is never
+// mutated).
+func Update(strategy UpdateStrategy, prev *wgraph.Graph, follow *graph.Graph, store *similarity.Store, cfg Config) *wgraph.Graph {
+	cfg = cfg.withDefaults()
+	switch strategy {
+	case FromScratch:
+		return Build(follow, store, cfg)
+	case KeepOld:
+		return prev
+	case UpdateWeights:
+		return updateWeights(prev, store, cfg)
+	case Crossfold:
+		return crossfold(prev, store, cfg)
+	default:
+		panic(fmt.Sprintf("simgraph: unknown strategy %d", strategy))
+	}
+}
+
+// updateWeights recomputes every existing edge's similarity; edges that
+// fall below τ are dropped.
+func updateWeights(prev *wgraph.Graph, store *similarity.Store, cfg Config) *wgraph.Graph {
+	edges := prev.Edges()
+	kept := edges[:0]
+	for _, e := range edges {
+		sim := store.Sim(e.From, e.To)
+		if sim < cfg.Tau {
+			continue
+		}
+		e.Weight = float32(sim)
+		kept = append(kept, e)
+	}
+	return wgraph.NewFromEdges(prev.NumNodes(), kept)
+}
+
+// crossfold performs the paper's crossfold strategy: a 2-hop BFS over the
+// previous similarity graph from each active user, recomputing weights
+// and adding newly discovered influential users. This both densifies the
+// graph and refreshes weights without touching the (much larger) follow
+// graph.
+func crossfold(prev *wgraph.Graph, store *similarity.Store, cfg Config) *wgraph.Graph {
+	un := ToUnweighted(prev)
+	return Build(un, store, cfg)
+}
+
+// Delta summarizes the difference between two similarity graphs; used to
+// report update costs.
+type Delta struct {
+	EdgesAdded, EdgesRemoved, EdgesReweighted int
+}
+
+// Diff compares old and new similarity graphs edge by edge.
+func Diff(oldG, newG *wgraph.Graph) Delta {
+	var d Delta
+	n := oldG.NumNodes()
+	if newG.NumNodes() > n {
+		n = newG.NumNodes()
+	}
+	for u := 0; u < n; u++ {
+		var oldTo []ids.UserID
+		var oldW []float32
+		if u < oldG.NumNodes() {
+			oldTo, oldW = oldG.Out(ids.UserID(u))
+		}
+		var newTo []ids.UserID
+		var newW []float32
+		if u < newG.NumNodes() {
+			newTo, newW = newG.Out(ids.UserID(u))
+		}
+		i, j := 0, 0
+		for i < len(oldTo) && j < len(newTo) {
+			switch {
+			case oldTo[i] < newTo[j]:
+				d.EdgesRemoved++
+				i++
+			case oldTo[i] > newTo[j]:
+				d.EdgesAdded++
+				j++
+			default:
+				if oldW[i] != newW[j] {
+					d.EdgesReweighted++
+				}
+				i++
+				j++
+			}
+		}
+		d.EdgesRemoved += len(oldTo) - i
+		d.EdgesAdded += len(newTo) - j
+	}
+	return d
+}

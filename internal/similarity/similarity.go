@@ -1,0 +1,231 @@
+// Package similarity implements the paper's user-similarity measure
+// (Definition 3.1): a Jaccard similarity over retweet profiles, adjusted
+// so that sharing an unpopular tweet counts more than sharing a viral one
+// (Breese et al.'s inverse user frequency idea):
+//
+//	sim(u,v) = ( Σ_{i ∈ Lu ∩ Lv} 1/log(1+m(i)) ) / |Lu ∪ Lv|
+//
+// where Lu is the set of tweets u retweeted and m(i) the number of times
+// tweet i was retweeted.
+//
+// The Store keeps per-user profiles as sorted tweet-ID slices plus a
+// global popularity table, supports O(|Lu|+|Lv|) similarity via sorted
+// merge, and allows incremental observation of new retweets so the
+// incremental update strategies (§6.3) can refresh edge weights in place.
+package similarity
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/ids"
+)
+
+// Store holds retweet profiles and tweet popularity for similarity
+// computation. Methods are safe for concurrent readers; Observe mutates
+// and requires external synchronization if mixed with reads.
+type Store struct {
+	profiles [][]ids.TweetID // per user, sorted ascending
+	pop      []int32         // per tweet, number of retweets m(i)
+	weights  []float32       // per tweet, min(1, 1/ln(1+m)) — cached
+
+	// Topic blending (§7 future work); see EnableTopics in topic.go.
+	topicOf    func(ids.TweetID) int16
+	topicAlpha float64
+	topicVecs  [][]topicCount
+}
+
+// NewStore builds a store from a training action log.
+func NewStore(numUsers, numTweets int, actions []dataset.Action) *Store {
+	s := &Store{
+		profiles: make([][]ids.TweetID, numUsers),
+		pop:      make([]int32, numTweets),
+	}
+	perUser := make([]int32, numUsers)
+	for _, a := range actions {
+		perUser[a.User]++
+		s.pop[a.Tweet]++
+	}
+	for u, c := range perUser {
+		if c > 0 {
+			s.profiles[u] = make([]ids.TweetID, 0, c)
+		}
+	}
+	for _, a := range actions {
+		s.profiles[a.User] = append(s.profiles[a.User], a.Tweet)
+	}
+	for u := range s.profiles {
+		p := s.profiles[u]
+		sort.Slice(p, func(i, j int) bool { return p[i] < p[j] })
+		// Drop duplicate retweets of the same tweet by the same user.
+		s.profiles[u] = dedupTweets(p)
+	}
+	s.rebuildWeights()
+	return s
+}
+
+func dedupTweets(p []ids.TweetID) []ids.TweetID {
+	out := p[:0]
+	for i, t := range p {
+		if i == 0 || t != p[i-1] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// rebuildWeights refreshes the cached per-tweet weight table.
+func (s *Store) rebuildWeights() {
+	if cap(s.weights) < len(s.pop) {
+		s.weights = make([]float32, len(s.pop))
+	}
+	s.weights = s.weights[:len(s.pop)]
+	for t, m := range s.pop {
+		s.weights[t] = popularityWeight(m)
+	}
+}
+
+// popularityWeight is 1/ln(1+m) clamped to [0,1]. The clamp keeps
+// sim(u,v) ≤ 1 even for tweets retweeted only once (the paper restricts
+// itself to m ≥ 2 where the clamp never fires).
+func popularityWeight(m int32) float32 {
+	if m <= 0 {
+		return 1
+	}
+	w := 1 / math.Log(1+float64(m))
+	if w > 1 {
+		w = 1
+	}
+	return float32(w)
+}
+
+// Observe records a new retweet, updating the profile and popularity. The
+// cached weight for the tweet is refreshed.
+func (s *Store) Observe(u ids.UserID, t ids.TweetID) {
+	for int(t) >= len(s.pop) {
+		s.pop = append(s.pop, 0)
+		s.weights = append(s.weights, 1)
+	}
+	s.pop[t]++
+	s.weights[t] = popularityWeight(s.pop[t])
+	p := s.profiles[u]
+	i := sort.Search(len(p), func(i int) bool { return p[i] >= t })
+	if i < len(p) && p[i] == t {
+		return // duplicate retweet: profile is a set
+	}
+	p = append(p, 0)
+	copy(p[i+1:], p[i:])
+	p[i] = t
+	s.profiles[u] = p
+	if s.topicOf != nil {
+		s.bumpTopic(u, s.topicOf(t))
+	}
+}
+
+// Profile returns u's sorted retweet set (shared storage; do not modify).
+func (s *Store) Profile(u ids.UserID) []ids.TweetID { return s.profiles[u] }
+
+// ProfileSize returns |Lu|.
+func (s *Store) ProfileSize(u ids.UserID) int { return len(s.profiles[u]) }
+
+// Popularity returns m(i) for a tweet.
+func (s *Store) Popularity(t ids.TweetID) int32 {
+	if int(t) >= len(s.pop) {
+		return 0
+	}
+	return s.pop[t]
+}
+
+// NumUsers returns the user count the store was built for.
+func (s *Store) NumUsers() int { return len(s.profiles) }
+
+// Sim computes sim(u,v) per Definition 3.1: symmetric, in [0,1], zero
+// when the profiles are disjoint or either is empty. With topics enabled
+// (EnableTopics) the result blends in the topic-engagement similarity.
+func (s *Store) Sim(u, v ids.UserID) float64 {
+	base := s.tweetSim(u, v)
+	if !s.TopicsEnabled() {
+		return base
+	}
+	return (1-s.topicAlpha)*base + s.topicAlpha*s.topicSim(u, v)
+}
+
+// tweetSim is the pure Definition 3.1 measure.
+func (s *Store) tweetSim(u, v ids.UserID) float64 {
+	pu, pv := s.profiles[u], s.profiles[v]
+	if len(pu) == 0 || len(pv) == 0 {
+		return 0
+	}
+	var num float64
+	inter := 0
+	i, j := 0, 0
+	for i < len(pu) && j < len(pv) {
+		switch {
+		case pu[i] < pv[j]:
+			i++
+		case pu[i] > pv[j]:
+			j++
+		default:
+			num += float64(s.weights[pu[i]])
+			inter++
+			i++
+			j++
+		}
+	}
+	if inter == 0 {
+		return 0
+	}
+	union := len(pu) + len(pv) - inter
+	return num / float64(union)
+}
+
+// SimAgainst computes sim(u, v) for every v in candidates, writing results
+// into out (allocated if too small) and returning it. This is the hot
+// inner loop of SimGraph construction; it avoids per-pair allocations.
+func (s *Store) SimAgainst(u ids.UserID, candidates []ids.UserID, out []float64) []float64 {
+	if cap(out) < len(candidates) {
+		out = make([]float64, len(candidates))
+	}
+	out = out[:len(candidates)]
+	for i, v := range candidates {
+		out[i] = s.Sim(u, v)
+	}
+	return out
+}
+
+// TopSimilar returns the k users with the highest non-zero similarity to
+// u among candidates, ordered by descending similarity.
+func (s *Store) TopSimilar(u ids.UserID, candidates []ids.UserID, k int) []Scored {
+	top := make([]Scored, 0, k+1)
+	for _, v := range candidates {
+		if v == u {
+			continue
+		}
+		sim := s.Sim(u, v)
+		if sim == 0 {
+			continue
+		}
+		top = insertTop(top, Scored{v, sim}, k)
+	}
+	return top
+}
+
+// Scored pairs a user with a similarity score.
+type Scored struct {
+	User ids.UserID
+	Sim  float64
+}
+
+// insertTop inserts sc into the descending-sorted slice, keeping at most k
+// entries.
+func insertTop(top []Scored, sc Scored, k int) []Scored {
+	i := sort.Search(len(top), func(i int) bool { return top[i].Sim < sc.Sim })
+	top = append(top, Scored{})
+	copy(top[i+1:], top[i:])
+	top[i] = sc
+	if len(top) > k {
+		top = top[:k]
+	}
+	return top
+}

@@ -1,0 +1,206 @@
+package similarity
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/ids"
+	"repro/internal/xrand"
+)
+
+// handStore builds the store for a tiny hand-checked scenario (weights
+// are cached as float32, so comparisons use a 1e-7 tolerance):
+//
+//	tweet 0: retweeted by users 0, 1        → m=2, weight 1/ln 3
+//	tweet 1: retweeted by users 0, 1, 2     → m=3, weight 1/ln 4
+//	tweet 2: retweeted by user 2 only       → m=1
+func handStore() *Store {
+	actions := []dataset.Action{
+		{User: 0, Tweet: 0, Time: 1},
+		{User: 1, Tweet: 0, Time: 2},
+		{User: 0, Tweet: 1, Time: 3},
+		{User: 1, Tweet: 1, Time: 4},
+		{User: 2, Tweet: 1, Time: 5},
+		{User: 2, Tweet: 2, Time: 6},
+	}
+	return NewStore(4, 3, actions)
+}
+
+func TestSimHandComputed(t *testing.T) {
+	s := handStore()
+	// sim(0,1): common {0,1}, union size 2.
+	want01 := (1/math.Log(3) + 1/math.Log(4)) / 2
+	if got := s.Sim(0, 1); math.Abs(got-want01) > 1e-7 {
+		t.Errorf("sim(0,1) = %v, want %v", got, want01)
+	}
+	// sim(0,2): common {1}, union {0,1,2} size 3.
+	want02 := (1 / math.Log(4)) / 3
+	if got := s.Sim(0, 2); math.Abs(got-want02) > 1e-7 {
+		t.Errorf("sim(0,2) = %v, want %v", got, want02)
+	}
+	// User 3 has no profile.
+	if got := s.Sim(0, 3); got != 0 {
+		t.Errorf("sim(0,3) = %v, want 0", got)
+	}
+}
+
+func TestSimSymmetric(t *testing.T) {
+	s := randomStore(30, 40, 200, 5)
+	for u := 0; u < 30; u++ {
+		for v := u + 1; v < 30; v++ {
+			a, b := s.Sim(ids.UserID(u), ids.UserID(v)), s.Sim(ids.UserID(v), ids.UserID(u))
+			if math.Abs(a-b) > 1e-15 {
+				t.Fatalf("sim not symmetric for (%d,%d): %v vs %v", u, v, a, b)
+			}
+		}
+	}
+}
+
+// Property: 0 ≤ sim ≤ 1 always.
+func TestSimBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := randomStore(20, 30, 150, seed)
+		for u := 0; u < 20; u++ {
+			for v := 0; v < 20; v++ {
+				sim := s.Sim(ids.UserID(u), ids.UserID(v))
+				if sim < 0 || sim > 1 || math.IsNaN(sim) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: incremental Observe reaches the same state as batch build.
+func TestObserveMatchesBatch(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		var actions []dataset.Action
+		for i := 0; i < 120; i++ {
+			actions = append(actions, dataset.Action{
+				User:  ids.UserID(rng.Intn(15)),
+				Tweet: ids.TweetID(rng.Intn(25)),
+				Time:  ids.Timestamp(i),
+			})
+		}
+		batch := NewStore(15, 25, actions)
+		incr := NewStore(15, 25, nil)
+		for _, a := range actions {
+			incr.Observe(a.User, a.Tweet)
+		}
+		for u := 0; u < 15; u++ {
+			for v := 0; v < 15; v++ {
+				if math.Abs(batch.Sim(ids.UserID(u), ids.UserID(v))-incr.Sim(ids.UserID(u), ids.UserID(v))) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestObserveDeduplicates(t *testing.T) {
+	s := NewStore(2, 2, nil)
+	s.Observe(0, 1)
+	s.Observe(0, 1)
+	if got := s.ProfileSize(0); got != 1 {
+		t.Errorf("profile size %d after duplicate retweets, want 1", got)
+	}
+	// Popularity still counts both events (the same user re-sharing still
+	// signals popularity).
+	if got := s.Popularity(1); got != 2 {
+		t.Errorf("popularity %d, want 2", got)
+	}
+}
+
+func TestObserveGrowsTweetSpace(t *testing.T) {
+	s := NewStore(2, 1, nil)
+	s.Observe(0, 5) // beyond initial tweet count
+	if got := s.Popularity(5); got != 1 {
+		t.Errorf("popularity of grown tweet = %d, want 1", got)
+	}
+	if got := s.Popularity(99); got != 0 {
+		t.Errorf("popularity of unknown tweet = %d, want 0", got)
+	}
+}
+
+func TestPopularityWeightClamped(t *testing.T) {
+	// m=1 gives 1/ln2 ≈ 1.44; the clamp must cap it at 1 so sim ≤ 1.
+	if w := popularityWeight(1); w != 1 {
+		t.Errorf("weight(1) = %v, want clamp at 1", w)
+	}
+	if w := popularityWeight(0); w != 1 {
+		t.Errorf("weight(0) = %v, want 1", w)
+	}
+	if w := popularityWeight(100); w >= 0.5 {
+		t.Errorf("weight(100) = %v, want small", w)
+	}
+}
+
+func TestPopularTweetsWeighLess(t *testing.T) {
+	// Two pairs, identical profiles except one shares a rare tweet and
+	// the other a viral one: the rare pair must be more similar (§3.2).
+	var actions []dataset.Action
+	// tweet 0 rare: users 0,1 only.
+	actions = append(actions,
+		dataset.Action{User: 0, Tweet: 0}, dataset.Action{User: 1, Tweet: 0})
+	// tweet 1 viral: users 2,3 and 20 others.
+	actions = append(actions,
+		dataset.Action{User: 2, Tweet: 1}, dataset.Action{User: 3, Tweet: 1})
+	for i := 0; i < 20; i++ {
+		actions = append(actions, dataset.Action{User: ids.UserID(4 + i), Tweet: 1})
+	}
+	s := NewStore(30, 2, actions)
+	if rare, viral := s.Sim(0, 1), s.Sim(2, 3); rare <= viral {
+		t.Errorf("rare-pair sim %v should exceed viral-pair sim %v", rare, viral)
+	}
+}
+
+func TestTopSimilar(t *testing.T) {
+	s := handStore()
+	top := s.TopSimilar(0, []ids.UserID{1, 2, 3}, 2)
+	if len(top) != 2 || top[0].User != 1 || top[1].User != 2 {
+		t.Fatalf("TopSimilar = %+v", top)
+	}
+	if top[0].Sim < top[1].Sim {
+		t.Error("TopSimilar not sorted descending")
+	}
+	// k smaller than matches truncates.
+	top1 := s.TopSimilar(0, []ids.UserID{1, 2}, 1)
+	if len(top1) != 1 || top1[0].User != 1 {
+		t.Fatalf("TopSimilar k=1 = %+v", top1)
+	}
+}
+
+func TestSimAgainstMatchesSim(t *testing.T) {
+	s := randomStore(25, 30, 180, 9)
+	cands := []ids.UserID{1, 3, 5, 7, 9}
+	out := s.SimAgainst(2, cands, nil)
+	for i, v := range cands {
+		if out[i] != s.Sim(2, v) {
+			t.Fatalf("SimAgainst[%d] = %v, want %v", i, out[i], s.Sim(2, v))
+		}
+	}
+}
+
+func randomStore(users, tweets, actions int, seed uint64) *Store {
+	rng := xrand.New(seed)
+	var log []dataset.Action
+	for i := 0; i < actions; i++ {
+		log = append(log, dataset.Action{
+			User:  ids.UserID(rng.Intn(users)),
+			Tweet: ids.TweetID(rng.Intn(tweets)),
+			Time:  ids.Timestamp(i),
+		})
+	}
+	return NewStore(users, tweets, log)
+}

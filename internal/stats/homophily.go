@@ -1,0 +1,208 @@
+package stats
+
+import (
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/ids"
+	"repro/internal/similarity"
+	"repro/internal/xrand"
+)
+
+// DistanceRow is one row of Table 2: users pairs with a positive
+// similarity at a given follow-graph distance.
+type DistanceRow struct {
+	Distance string // "1".."6" or "impossible"
+	Pairs    int64
+	Percent  float64
+	AvgSim   float64
+}
+
+// HomophilyConfig tunes the Table 2/3 sampling.
+type HomophilyConfig struct {
+	// SampleSize is the number of source users studied (paper: 2 000).
+	SampleSize int
+	// MinRetweets filters sampled users to active ones.
+	MinRetweets int
+	// MaxDistance groups larger distances into the last row.
+	MaxDistance int
+	Seed        uint64
+}
+
+// DefaultHomophilyConfig returns paper-like parameters scaled for
+// synthetic datasets.
+func DefaultHomophilyConfig() HomophilyConfig {
+	return HomophilyConfig{SampleSize: 500, MinRetweets: 5, MaxDistance: 6, Seed: 42}
+}
+
+// SimilarityByDistance computes Table 2: for sampled active users, every
+// user pair with sim > 0 is grouped by the shortest-path distance in the
+// follow graph, reporting pair counts and mean similarity per distance.
+func SimilarityByDistance(ds *dataset.Dataset, store *similarity.Store, cfg HomophilyConfig) []DistanceRow {
+	sources := sampleActive(ds, store, cfg)
+	inv := invertProfiles(store)
+
+	sumSim := make([]float64, cfg.MaxDistance+2) // index d, last = impossible
+	cnt := make([]int64, cfg.MaxDistance+2)
+	imp := cfg.MaxDistance + 1
+
+	dist := make([]int32, ds.Graph.NumNodes())
+	for _, u := range sources {
+		dist = ds.Graph.BFS(u, dist)
+		for _, v := range coRetweeters(store, inv, u) {
+			sim := store.Sim(u, v)
+			if sim == 0 {
+				continue
+			}
+			d := dist[v]
+			switch {
+			case d == graph.Unreachable:
+				sumSim[imp] += sim
+				cnt[imp]++
+			case int(d) > cfg.MaxDistance:
+				sumSim[cfg.MaxDistance] += sim
+				cnt[cfg.MaxDistance]++
+			case d >= 1:
+				sumSim[d] += sim
+				cnt[d]++
+			}
+		}
+	}
+
+	var total int64
+	for _, c := range cnt {
+		total += c
+	}
+	rows := make([]DistanceRow, 0, cfg.MaxDistance+1)
+	for d := 1; d <= cfg.MaxDistance; d++ {
+		rows = append(rows, makeRow(intToLabel(d), cnt[d], sumSim[d], total))
+	}
+	rows = append(rows, makeRow("impossible", cnt[imp], sumSim[imp], total))
+	return rows
+}
+
+func makeRow(label string, c int64, sum float64, total int64) DistanceRow {
+	r := DistanceRow{Distance: label, Pairs: c}
+	if total > 0 {
+		r.Percent = 100 * float64(c) / float64(total)
+	}
+	if c > 0 {
+		r.AvgSim = sum / float64(c)
+	}
+	return r
+}
+
+func intToLabel(d int) string {
+	return string(rune('0' + d))
+}
+
+// TopRankRow is one row of Table 3: for users ranked r-th most similar,
+// the average follow-graph distance and the distance distribution.
+type TopRankRow struct {
+	Rank        int
+	AvgDistance float64
+	// DistPct[d-1] is the percentage of rank-r users at distance d, for
+	// d in 1..4; farther/unreachable users fall into Beyond.
+	DistPct [4]float64
+	Beyond  float64
+}
+
+// TopNDistance computes Table 3: the link between similarity rank and
+// network distance for the top-n most similar users of each sampled user.
+func TopNDistance(ds *dataset.Dataset, store *similarity.Store, n int, cfg HomophilyConfig) []TopRankRow {
+	sources := sampleActive(ds, store, cfg)
+	inv := invertProfiles(store)
+
+	sumDist := make([]float64, n)
+	distCnt := make([][5]int64, n) // [d1,d2,d3,d4,beyond]
+	rankCnt := make([]int64, n)
+
+	dist := make([]int32, ds.Graph.NumNodes())
+	for _, u := range sources {
+		top := store.TopSimilar(u, coRetweeters(store, inv, u), n)
+		if len(top) == 0 {
+			continue
+		}
+		dist = ds.Graph.BFS(u, dist)
+		for r, sc := range top {
+			d := dist[sc.User]
+			rankCnt[r]++
+			switch {
+			case d >= 1 && d <= 4:
+				distCnt[r][d-1]++
+				sumDist[r] += float64(d)
+			default:
+				distCnt[r][4]++
+				// Unreachable or far: count distance 5 in the average as
+				// a conservative stand-in.
+				sumDist[r] += 5
+			}
+		}
+	}
+
+	rows := make([]TopRankRow, n)
+	for r := 0; r < n; r++ {
+		rows[r].Rank = r + 1
+		if rankCnt[r] == 0 {
+			continue
+		}
+		rows[r].AvgDistance = sumDist[r] / float64(rankCnt[r])
+		for d := 0; d < 4; d++ {
+			rows[r].DistPct[d] = 100 * float64(distCnt[r][d]) / float64(rankCnt[r])
+		}
+		rows[r].Beyond = 100 * float64(distCnt[r][4]) / float64(rankCnt[r])
+	}
+	return rows
+}
+
+// sampleActive picks cfg.SampleSize users with at least MinRetweets
+// training retweets.
+func sampleActive(ds *dataset.Dataset, store *similarity.Store, cfg HomophilyConfig) []ids.UserID {
+	var active []ids.UserID
+	for u := 0; u < ds.NumUsers(); u++ {
+		if store.ProfileSize(ids.UserID(u)) >= cfg.MinRetweets {
+			active = append(active, ids.UserID(u))
+		}
+	}
+	if len(active) <= cfg.SampleSize {
+		return active
+	}
+	rng := xrand.New(cfg.Seed)
+	idx := rng.Sample(len(active), cfg.SampleSize)
+	out := make([]ids.UserID, len(idx))
+	for i, v := range idx {
+		out[i] = active[v]
+	}
+	return out
+}
+
+// invertProfiles maps tweets to their retweeters.
+func invertProfiles(store *similarity.Store) map[ids.TweetID][]ids.UserID {
+	inv := make(map[ids.TweetID][]ids.UserID)
+	for u := 0; u < store.NumUsers(); u++ {
+		for _, t := range store.Profile(ids.UserID(u)) {
+			inv[t] = append(inv[t], ids.UserID(u))
+		}
+	}
+	return inv
+}
+
+// coRetweeters returns the users sharing at least one retweet with u —
+// the only candidates with non-zero similarity.
+func coRetweeters(store *similarity.Store, inv map[ids.TweetID][]ids.UserID, u ids.UserID) []ids.UserID {
+	seen := make(map[ids.UserID]struct{})
+	for _, t := range store.Profile(u) {
+		for _, v := range inv[t] {
+			if v != u {
+				seen[v] = struct{}{}
+			}
+		}
+	}
+	out := make([]ids.UserID, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

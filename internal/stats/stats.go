@@ -1,0 +1,217 @@
+// Package stats reproduces the paper's §3 microblogging analysis on a
+// dataset: the global features table, the path-length and retweet
+// distributions, the tweet-lifetime study, and the two homophily tables
+// linking similarity to follow-graph distance. Each function corresponds
+// to one table or figure and returns a plain struct the experiment
+// drivers render.
+package stats
+
+import (
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/ids"
+	"repro/internal/xrand"
+)
+
+// DatasetFeatures is Table 1.
+type DatasetFeatures struct {
+	Nodes, Edges  int
+	Tweets        int
+	Actions       int
+	AvgOutDegree  float64
+	AvgInDegree   float64
+	MaxOutDegree  int
+	MaxInDegree   int
+	Diameter      int
+	AvgPathLength float64
+}
+
+// Features computes Table 1, sampling pathSamples BFS sources for the
+// diameter and average-path estimates.
+func Features(ds *dataset.Dataset, pathSamples int, seed uint64) DatasetFeatures {
+	g := ds.Graph
+	deg := g.Degrees()
+	f := DatasetFeatures{
+		Nodes:        g.NumNodes(),
+		Edges:        g.NumEdges(),
+		Tweets:       ds.NumTweets(),
+		Actions:      ds.NumActions(),
+		AvgOutDegree: deg.AvgOut,
+		AvgInDegree:  deg.AvgIn,
+		MaxOutDegree: deg.MaxOut,
+		MaxInDegree:  deg.MaxIn,
+	}
+	srcs := sampleUsers(g.NumNodes(), pathSamples, seed)
+	f.AvgPathLength = g.AveragePathLength(srcs)
+	dstarts := srcs
+	if len(dstarts) > 8 {
+		dstarts = dstarts[:8]
+	}
+	f.Diameter = g.EstimateDiameter(dstarts)
+	return f
+}
+
+func sampleUsers(n, k int, seed uint64) []ids.UserID {
+	if k > n {
+		k = n
+	}
+	rng := xrand.New(seed)
+	idx := rng.Sample(n, k)
+	out := make([]ids.UserID, k)
+	for i, v := range idx {
+		out[i] = ids.UserID(v)
+	}
+	return out
+}
+
+// PathDistribution is Figure 1 (and Figure 5 when run on the similarity
+// graph): hist[d] counts sampled ordered pairs at shortest distance d.
+type PathDistribution struct {
+	Hist       []int64
+	Impossible int64
+}
+
+// Paths computes the smallest-path distribution from sampled sources.
+func Paths(g *graph.Graph, samples int, seed uint64) PathDistribution {
+	srcs := sampleUsers(g.NumNodes(), samples, seed)
+	hist, imp := g.PathLengthDistribution(srcs)
+	return PathDistribution{Hist: hist, Impossible: imp}
+}
+
+// RetweetBuckets is Figure 2: tweets bucketed by how often they were
+// retweeted, using the paper's x-axis buckets.
+type RetweetBuckets struct {
+	Labels []string
+	Counts []int64
+}
+
+// RetweetsPerTweet computes Figure 2 over the full action log.
+func RetweetsPerTweet(ds *dataset.Dataset) RetweetBuckets {
+	counts := dataset.RetweetCounts(ds.NumTweets(), ds.Actions)
+	b := RetweetBuckets{
+		Labels: []string{"0", "1", "2-5", "6-50", "51-200", "201-500", "500+"},
+		Counts: make([]int64, 7),
+	}
+	for _, c := range counts {
+		switch {
+		case c == 0:
+			b.Counts[0]++
+		case c == 1:
+			b.Counts[1]++
+		case c <= 5:
+			b.Counts[2]++
+		case c <= 50:
+			b.Counts[3]++
+		case c <= 200:
+			b.Counts[4]++
+		case c <= 500:
+			b.Counts[5]++
+		default:
+			b.Counts[6]++
+		}
+	}
+	return b
+}
+
+// UserRetweetStats is Figure 3 plus the headline numbers quoted in §3.1.1
+// (average, median, never-retweeted share).
+type UserRetweetStats struct {
+	// Hist buckets users by log10 retweet count: [0], [1..9], [10..99],
+	// [100..999], [1000+].
+	Labels       []string
+	Counts       []int64
+	Mean, Median float64
+	NeverShare   float64 // fraction of users with zero retweets
+}
+
+// RetweetsPerUser computes Figure 3 over the full action log.
+func RetweetsPerUser(ds *dataset.Dataset) UserRetweetStats {
+	counts := dataset.UserRetweetCounts(ds.NumUsers(), ds.Actions)
+	s := UserRetweetStats{
+		Labels: []string{"0", "1-9", "10-99", "100-999", "1000+"},
+		Counts: make([]int64, 5),
+	}
+	var sum int64
+	sorted := make([]int32, len(counts))
+	copy(sorted, counts)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, c := range counts {
+		sum += int64(c)
+		switch {
+		case c == 0:
+			s.Counts[0]++
+		case c < 10:
+			s.Counts[1]++
+		case c < 100:
+			s.Counts[2]++
+		case c < 1000:
+			s.Counts[3]++
+		default:
+			s.Counts[4]++
+		}
+	}
+	if len(counts) > 0 {
+		s.Mean = float64(sum) / float64(len(counts))
+		s.Median = float64(sorted[len(sorted)/2])
+		s.NeverShare = float64(s.Counts[0]) / float64(len(counts))
+	}
+	return s
+}
+
+// LifetimeStats is Figure 4: the distribution of tweet lifetimes
+// (publication → last retweet) over tweets retweeted at least once.
+type LifetimeStats struct {
+	// Labels/Counts histogram lifetimes in hour buckets.
+	Labels []string
+	Counts []int64
+	// CDF milestones quoted in §3.1.2.
+	DeadWithin1h  float64
+	DeadWithin72h float64
+}
+
+// Lifetimes computes Figure 4.
+func Lifetimes(ds *dataset.Dataset) LifetimeStats {
+	last := make(map[ids.TweetID]ids.Timestamp)
+	for _, a := range ds.Actions {
+		if t, ok := last[a.Tweet]; !ok || a.Time > t {
+			last[a.Tweet] = a.Time
+		}
+	}
+	s := LifetimeStats{
+		Labels: []string{"<1h", "1-10h", "10-24h", "24-72h", "72-168h", "168h+"},
+		Counts: make([]int64, 6),
+	}
+	var within1, within72, total int64
+	for t, lastAt := range last {
+		life := lastAt - ds.Tweets[t].Time
+		total++
+		h := life.Hours()
+		if h <= 1 {
+			within1++
+		}
+		if h <= 72 {
+			within72++
+		}
+		switch {
+		case h < 1:
+			s.Counts[0]++
+		case h < 10:
+			s.Counts[1]++
+		case h < 24:
+			s.Counts[2]++
+		case h < 72:
+			s.Counts[3]++
+		case h < 168:
+			s.Counts[4]++
+		default:
+			s.Counts[5]++
+		}
+	}
+	if total > 0 {
+		s.DeadWithin1h = float64(within1) / float64(total)
+		s.DeadWithin72h = float64(within72) / float64(total)
+	}
+	return s
+}

@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/ids"
+	"repro/internal/similarity"
+)
+
+func handDataset() *dataset.Dataset {
+	b := graph.NewBuilder(4, 4)
+	b.SetNumNodes(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 0)
+	return &dataset.Dataset{
+		Graph: b.Build(),
+		Tweets: []dataset.Tweet{
+			{Author: 0, Time: 0},
+			{Author: 1, Time: 10 * ids.Hour},
+			{Author: 2, Time: 20 * ids.Hour},
+		},
+		Actions: []dataset.Action{
+			{User: 1, Tweet: 0, Time: 30 * ids.Minute},
+			{User: 2, Tweet: 0, Time: 50 * ids.Hour},
+			{User: 3, Tweet: 1, Time: 10*ids.Hour + 30*ids.Minute},
+		},
+	}
+}
+
+func TestFeatures(t *testing.T) {
+	ds := handDataset()
+	f := Features(ds, 4, 1)
+	if f.Nodes != 4 || f.Edges != 4 || f.Tweets != 3 || f.Actions != 3 {
+		t.Fatalf("features %+v", f)
+	}
+	if f.AvgOutDegree != 1 || f.MaxOutDegree != 1 {
+		t.Errorf("degrees %+v", f)
+	}
+	// Directed ring of 4: diameter 3, avg path (1+2+3)/3 = 2.
+	if f.Diameter != 3 {
+		t.Errorf("diameter = %d, want 3", f.Diameter)
+	}
+	if f.AvgPathLength != 2 {
+		t.Errorf("avg path = %v, want 2", f.AvgPathLength)
+	}
+}
+
+func TestPaths(t *testing.T) {
+	ds := handDataset()
+	p := Paths(ds.Graph, 4, 1)
+	// Ring: from each of 4 sources, one node at d=1,2,3.
+	if p.Hist[1] != 4 || p.Hist[2] != 4 || p.Hist[3] != 4 || p.Impossible != 0 {
+		t.Fatalf("paths %+v", p)
+	}
+}
+
+func TestRetweetsPerTweetBuckets(t *testing.T) {
+	ds := handDataset()
+	b := RetweetsPerTweet(ds)
+	// tweet0 → 2 retweets (bucket "2-5"), tweet1 → 1, tweet2 → 0.
+	if b.Counts[0] != 1 || b.Counts[1] != 1 || b.Counts[2] != 1 {
+		t.Fatalf("buckets %v %v", b.Labels, b.Counts)
+	}
+}
+
+func TestRetweetsPerUser(t *testing.T) {
+	ds := handDataset()
+	s := RetweetsPerUser(ds)
+	if s.Counts[0] != 1 { // user 0 never retweets
+		t.Errorf("zero bucket %v", s.Counts)
+	}
+	if s.Counts[1] != 3 { // users 1,2,3 have 1 each
+		t.Errorf("1-9 bucket %v", s.Counts)
+	}
+	if s.Mean != 0.75 || s.NeverShare != 0.25 {
+		t.Errorf("mean %v never %v", s.Mean, s.NeverShare)
+	}
+}
+
+func TestLifetimes(t *testing.T) {
+	ds := handDataset()
+	s := Lifetimes(ds)
+	// tweet0 lifetime 50h (24-72h bucket), tweet1 30min (<1h), tweet2
+	// never retweeted (excluded).
+	if s.Counts[0] != 1 || s.Counts[3] != 1 {
+		t.Fatalf("lifetime buckets %v", s.Counts)
+	}
+	if s.DeadWithin1h != 0.5 || s.DeadWithin72h != 1 {
+		t.Errorf("CDF %v %v", s.DeadWithin1h, s.DeadWithin72h)
+	}
+}
+
+func TestHomophilyTables(t *testing.T) {
+	cfg := gen.DefaultConfig(600, 17)
+	cfg.TweetsPerUser = 8
+	ds, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := similarity.NewStore(ds.NumUsers(), ds.NumTweets(), ds.Actions)
+	hc := HomophilyConfig{SampleSize: 60, MinRetweets: 3, MaxDistance: 6, Seed: 1}
+
+	rows := SimilarityByDistance(ds, store, hc)
+	if len(rows) != 7 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	var pct float64
+	var pairs int64
+	for _, r := range rows {
+		pct += r.Percent
+		pairs += r.Pairs
+		if r.AvgSim < 0 || r.AvgSim > 1 {
+			t.Fatalf("avg sim out of range: %+v", r)
+		}
+	}
+	if pairs == 0 {
+		t.Fatal("no similar pairs found")
+	}
+	if pct < 99.9 || pct > 100.1 {
+		t.Errorf("percentages sum to %v", pct)
+	}
+	// Homophily: distance-1 pairs more similar than distance-3 pairs.
+	if rows[0].AvgSim <= rows[2].AvgSim {
+		t.Errorf("no homophily decay: d1=%v d3=%v", rows[0].AvgSim, rows[2].AvgSim)
+	}
+
+	top := TopNDistance(ds, store, 5, hc)
+	if len(top) != 5 {
+		t.Fatalf("%d top rows", len(top))
+	}
+	for _, r := range top {
+		if r.AvgDistance < 1 {
+			t.Fatalf("rank %d avg distance %v", r.Rank, r.AvgDistance)
+		}
+		sum := r.Beyond
+		for _, p := range r.DistPct {
+			sum += p
+		}
+		if sum < 99.9 || sum > 100.1 {
+			t.Errorf("rank %d distribution sums to %v", r.Rank, sum)
+		}
+	}
+	// The most similar user should be closer on average than rank 5.
+	if top[0].AvgDistance > top[4].AvgDistance {
+		t.Errorf("rank-distance not increasing: %v vs %v", top[0].AvgDistance, top[4].AvgDistance)
+	}
+}

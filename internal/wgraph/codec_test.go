@@ -1,0 +1,90 @@
+package wgraph
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ids"
+	"repro/internal/xrand"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	g := triangle()
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g.Edges(), got.Edges()) || got.NumNodes() != g.NumNodes() {
+		t.Fatal("round-trip mismatch")
+	}
+}
+
+func TestCodecRoundTripRandom(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 5 + rng.Intn(40)
+		b := NewBuilder(n, n*3)
+		b.SetNumNodes(n)
+		for i := 0; i < n*3; i++ {
+			b.AddEdge(ids.UserID(rng.Intn(n)), ids.UserID(rng.Intn(n)), float32(rng.Float64()))
+		}
+		g := b.Build()
+		var buf bytes.Buffer
+		if err := g.Save(&buf); err != nil {
+			return false
+		}
+		got, err := Load(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(g.Edges(), got.Edges()) && got.NumNodes() == g.NumNodes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("WRONGMAG"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	g := triangle()
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bytes.NewReader(buf.Bytes()[:buf.Len()-3])); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	// Corrupt an edge endpoint beyond the node count.
+	raw := buf.Bytes()
+	raw[len(codecMagic)+12+4] = 0xff // first edge's 'to' high byte
+	if _, err := Load(bytes.NewReader(raw)); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+}
+
+func TestCodecFiles(t *testing.T) {
+	g := triangle()
+	path := filepath.Join(t.TempDir(), "g.bin")
+	if err := g.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumEdges() != g.NumEdges() {
+		t.Fatal("file round-trip mismatch")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

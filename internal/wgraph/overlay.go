@@ -1,0 +1,175 @@
+package wgraph
+
+import (
+	"sort"
+
+	"repro/internal/ids"
+)
+
+// Overlay layers edge mutations (weight changes and new edges) over an
+// immutable base Graph without rebuilding its CSR arrays. Reads see the
+// merged view. This is the substrate for the paper's incremental update
+// strategies: "SimGraph update" rewrites weights, "crossfold" adds edges
+// discovered by re-exploring the previous similarity graph.
+//
+// Overlay is cheap when the delta is small relative to the base; call
+// Freeze to compact everything back into a plain Graph once the delta
+// grows.
+type Overlay struct {
+	base  *Graph
+	delta map[ids.UserID]map[ids.UserID]float32 // from → to → weight
+	// reverse index of delta for In() queries
+	rdelta map[ids.UserID]map[ids.UserID]float32
+	extra  int // edges in delta that are not in base
+}
+
+// NewOverlay wraps base with an empty delta.
+func NewOverlay(base *Graph) *Overlay {
+	return &Overlay{
+		base:   base,
+		delta:  make(map[ids.UserID]map[ids.UserID]float32),
+		rdelta: make(map[ids.UserID]map[ids.UserID]float32),
+	}
+}
+
+// Base returns the wrapped immutable graph.
+func (o *Overlay) Base() *Graph { return o.base }
+
+// SetEdge sets the weight of from→to, adding the edge if absent.
+func (o *Overlay) SetEdge(from, to ids.UserID, w float32) {
+	if from == to {
+		return
+	}
+	m := o.delta[from]
+	if m == nil {
+		m = make(map[ids.UserID]float32)
+		o.delta[from] = m
+	}
+	if _, existed := m[to]; !existed {
+		if _, inBase := o.base.Weight(from, to); !inBase {
+			o.extra++
+		}
+	}
+	m[to] = w
+	rm := o.rdelta[to]
+	if rm == nil {
+		rm = make(map[ids.UserID]float32)
+		o.rdelta[to] = rm
+	}
+	rm[from] = w
+}
+
+// NumEdges returns the merged edge count.
+func (o *Overlay) NumEdges() int { return o.base.NumEdges() + o.extra }
+
+// NumNodes returns the node count of the base graph (overlays never add
+// nodes; construct a fresh graph for that).
+func (o *Overlay) NumNodes() int { return o.base.NumNodes() }
+
+// Out returns the merged successor list of u with weights. The result is
+// freshly allocated and sorted by target ID.
+func (o *Overlay) Out(u ids.UserID) ([]ids.UserID, []float32) {
+	to, w := o.base.Out(u)
+	d := o.delta[u]
+	if len(d) == 0 {
+		return to, w
+	}
+	mergedTo := make([]ids.UserID, 0, len(to)+len(d))
+	mergedW := make([]float32, 0, len(to)+len(d))
+	for i, v := range to {
+		if nw, ok := d[v]; ok {
+			mergedTo = append(mergedTo, v)
+			mergedW = append(mergedW, nw)
+		} else {
+			mergedTo = append(mergedTo, v)
+			mergedW = append(mergedW, w[i])
+		}
+	}
+	for v, nw := range d {
+		if _, inBase := o.base.Weight(u, v); !inBase {
+			mergedTo = append(mergedTo, v)
+			mergedW = append(mergedW, nw)
+		}
+	}
+	sortPairs(mergedTo, mergedW)
+	return mergedTo, mergedW
+}
+
+// In returns the merged predecessor list of u with weights.
+func (o *Overlay) In(u ids.UserID) ([]ids.UserID, []float32) {
+	from, w := o.base.In(u)
+	d := o.rdelta[u]
+	if len(d) == 0 {
+		return from, w
+	}
+	mergedFrom := make([]ids.UserID, 0, len(from)+len(d))
+	mergedW := make([]float32, 0, len(from)+len(d))
+	for i, v := range from {
+		if nw, ok := d[v]; ok {
+			mergedFrom = append(mergedFrom, v)
+			mergedW = append(mergedW, nw)
+		} else {
+			mergedFrom = append(mergedFrom, v)
+			mergedW = append(mergedW, w[i])
+		}
+	}
+	for v, nw := range d {
+		if _, inBase := o.base.Weight(v, u); !inBase {
+			mergedFrom = append(mergedFrom, v)
+			mergedW = append(mergedW, nw)
+		}
+	}
+	sortPairs(mergedFrom, mergedW)
+	return mergedFrom, mergedW
+}
+
+// Freeze compacts base+delta into a new immutable Graph.
+func (o *Overlay) Freeze() *Graph {
+	edges := o.base.Edges()
+	for i := range edges {
+		if d := o.delta[edges[i].From]; d != nil {
+			if nw, ok := d[edges[i].To]; ok {
+				edges[i].Weight = nw
+			}
+		}
+	}
+	for from, m := range o.delta {
+		for to, w := range m {
+			if _, inBase := o.base.Weight(from, to); !inBase {
+				edges = append(edges, Edge{from, to, w})
+			}
+		}
+	}
+	return NewFromEdges(o.base.NumNodes(), edges)
+}
+
+func sortPairs(idsl []ids.UserID, ws []float32) {
+	sort.Sort(&pairSorter{idsl, ws})
+}
+
+type pairSorter struct {
+	ids []ids.UserID
+	ws  []float32
+}
+
+func (p *pairSorter) Len() int           { return len(p.ids) }
+func (p *pairSorter) Less(i, j int) bool { return p.ids[i] < p.ids[j] }
+func (p *pairSorter) Swap(i, j int) {
+	p.ids[i], p.ids[j] = p.ids[j], p.ids[i]
+	p.ws[i], p.ws[j] = p.ws[j], p.ws[i]
+}
+
+// View is the read interface shared by Graph and Overlay so propagation
+// can run over either a frozen or an incrementally-updated similarity
+// graph.
+type View interface {
+	NumNodes() int
+	NumEdges() int
+	Out(u ids.UserID) ([]ids.UserID, []float32)
+	In(u ids.UserID) ([]ids.UserID, []float32)
+}
+
+var (
+	_ View = (*Graph)(nil)
+	_ View = (*Overlay)(nil)
+)
