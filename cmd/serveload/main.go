@@ -1,0 +1,161 @@
+// Command serveload drives the Engine's concurrent serving layer the way
+// a front-end fleet would: one writer goroutine streams the test split
+// through Observe while N reader goroutines hammer Recommend, and the
+// tool reports sustained read/write throughput and latency percentiles.
+//
+// Usage:
+//
+//	serveload [-users 5000] [-seed 1] [-load ds.bin] [-readers 8]
+//	          [-duration 10s] [-k 10] [-postpone] [-diverse]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/dataset"
+	"repro/internal/gen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serveload: ")
+
+	var (
+		users    = flag.Int("users", 5000, "number of users to generate")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		load     = flag.String("load", "", "load a dataset instead of generating")
+		readers  = flag.Int("readers", 8, "concurrent Recommend goroutines")
+		duration = flag.Duration("duration", 10*time.Second, "how long to drive load")
+		k        = flag.Int("k", 10, "recommendations per request")
+		postpone = flag.Bool("postpone", false, "enable the postponed-propagation scheduler")
+		diverse  = flag.Bool("diverse", false, "readers call RecommendDiverse instead of Recommend")
+	)
+	flag.Parse()
+
+	var ds *repro.Dataset
+	var err error
+	if *load != "" {
+		ds, err = dataset.LoadFile(*load)
+	} else {
+		ds, err = gen.Generate(gen.DefaultConfig(*users, *seed))
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	train, test, err := repro.SplitDataset(ds, 0.9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := repro.DefaultEngineOptions()
+	opts.Train = train
+	opts.Postpone = *postpone
+	start := time.Now()
+	eng, err := repro.NewEngine(ds, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained on %d users / %d train actions in %v (GOMAXPROCS=%d)\n",
+		ds.NumUsers(), len(train), time.Since(start).Round(time.Millisecond), runtime.GOMAXPROCS(0))
+
+	var assignment *repro.BubbleAssignment
+	if *diverse {
+		assignment, _ = eng.DetectBubbles()
+	}
+	now := test[len(test)-1].Time
+
+	var (
+		wg       sync.WaitGroup
+		stop     = make(chan struct{})
+		writes   atomic.Int64
+		reads    atomic.Int64
+		readNS   atomic.Int64 // total nanoseconds spent inside reads
+		sampleMu sync.Mutex
+		samples  []time.Duration // reservoir of read latencies
+	)
+
+	// Writer: stream the test split in order, looping if the clock runs
+	// long. Looped replays re-mark existing shares and get stale-dropped,
+	// which is exactly the steady-state shape of a mature stream.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			a := test[i%len(test)]
+			if err := eng.Observe(a.User, a.Tweet, a.Time); err != nil {
+				log.Fatal(err)
+			}
+			writes.Add(1)
+		}
+	}()
+
+	for r := 0; r < *readers; r++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			u := id * 7919 % ds.NumUsers()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				t0 := time.Now()
+				if *diverse {
+					eng.RecommendDiverse(assignment, repro.UserID(u), *k, now, 0.5)
+				} else {
+					eng.Recommend(repro.UserID(u), *k, now)
+				}
+				el := time.Since(t0)
+				readNS.Add(int64(el))
+				reads.Add(1)
+				if i%64 == 0 {
+					sampleMu.Lock()
+					if len(samples) < 1<<16 {
+						samples = append(samples, el)
+					}
+					sampleMu.Unlock()
+				}
+				u = (u + 13) % ds.NumUsers()
+			}
+		}(r)
+	}
+
+	time.Sleep(*duration)
+	close(stop)
+	wg.Wait()
+
+	secs := duration.Seconds()
+	nr, nw := reads.Load(), writes.Load()
+	fmt.Printf("readers=%d duration=%v\n", *readers, *duration)
+	fmt.Printf("reads : %9d  (%.0f req/s, mean %v)\n", nr, float64(nr)/secs,
+		(time.Duration(readNS.Load()) / time.Duration(max64(nr, 1))).Round(time.Microsecond))
+	fmt.Printf("writes: %9d  (%.0f obs/s)\n", nw, float64(nw)/secs)
+	if len(samples) > 0 {
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		for _, p := range []float64{0.50, 0.90, 0.99} {
+			idx := int(p * float64(len(samples)-1))
+			fmt.Printf("read p%.0f: %v\n", p*100, samples[idx].Round(time.Microsecond))
+		}
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

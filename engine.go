@@ -2,6 +2,8 @@ package repro
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"repro/internal/bubbles"
 
@@ -83,8 +85,20 @@ func DefaultEngineOptions() EngineOptions {
 // Engine is the public entry point to the paper's system: it owns the
 // retweet profiles, the similarity graph, and the propagation
 // recommender, and keeps all three consistent as retweets stream in.
-// Engine is not safe for concurrent use.
+//
+// Engine is safe for concurrent use. The read path — Recommend,
+// RecommendDiverse, Similarity, PropagateScores, GraphCharacteristics,
+// ColdStartUsers, DetectBubbles, ObservedActions — may be called from any
+// number of goroutines simultaneously; reads scale with GOMAXPROCS
+// because the candidate pools are lock-split per user and the similarity
+// graph is immutable between refreshes. Observe and RefreshGraph are
+// writers: they take the exclusive lock, so a streamed retweet or a graph
+// rebuild briefly quiesces readers but can safely interleave with them.
 type Engine struct {
+	// mu is the facade lock: read methods take RLock, Observe and
+	// RefreshGraph take Lock (they mutate the profile store, the observed
+	// log, and — for RefreshGraph — swap the recommender wholesale).
+	mu    sync.RWMutex
 	ds    *Dataset
 	opts  EngineOptions
 	store *similarity.Store
@@ -93,6 +107,10 @@ type Engine struct {
 	// observed accumulates the streamed actions so RefreshGraph can
 	// rebuild profiles.
 	observed []Action
+	// props pools per-worker Propagator scratch for PropagateScores; the
+	// dense buffers are expensive to allocate per call and each pooled
+	// propagator is rebound to the current graph on checkout.
+	props sync.Pool
 }
 
 // NewEngine trains an engine on the dataset: builds profiles from the
@@ -156,12 +174,15 @@ func (e *Engine) recommenderConfig() simgraph.RecommenderConfig {
 
 // Observe streams one retweet into the engine: it updates the user's
 // profile, re-propagates the tweet's share probabilities over the
-// similarity graph, and refreshes candidate pools.
+// similarity graph, and refreshes candidate pools. Observe is a writer:
+// it excludes concurrent readers for the duration of the propagation.
 func (e *Engine) Observe(u UserID, t TweetID, at Timestamp) error {
 	if err := validateIDs(e.ds, u, t); err != nil {
 		return err
 	}
 	a := Action{User: u, Tweet: t, Time: at}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.observed = append(e.observed, a)
 	e.store.Observe(u, t)
 	e.rec.Observe(a)
@@ -169,11 +190,14 @@ func (e *Engine) Observe(u UserID, t TweetID, at Timestamp) error {
 }
 
 // Recommend returns up to k fresh recommendations for u at time now,
-// highest predicted share probability first.
+// highest predicted share probability first. Safe for any number of
+// concurrent callers.
 func (e *Engine) Recommend(u UserID, k int, now Timestamp) []Recommendation {
 	if int(u) >= e.ds.NumUsers() || k <= 0 {
 		return nil
 	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	scored := e.rec.Recommend(u, k, now)
 	if len(scored) == 0 && e.opts.ColdStartFallback {
 		return e.coldStartRecommend(u, k, now)
@@ -186,17 +210,27 @@ func (e *Engine) Recommend(u UserID, k int, now Timestamp) []Recommendation {
 }
 
 // coldStartRecommend aggregates the followees' candidate lists, averaging
-// scores so tweets endorsed by several followees rank first. Tweets the
-// user already shared are excluded by each followee pool individually;
-// the user's own shares are unknown to the engine only if never observed.
+// scores so tweets endorsed by several followees rank first. The followee
+// pools filter the followees' own shares, not the cold user's, so the
+// aggregate is additionally filtered against the user's observed profile
+// and authorship — a cold-start user must never be served a tweet they
+// already shared or wrote. Callers hold e.mu (read side suffices).
 func (e *Engine) coldStartRecommend(u UserID, k int, now Timestamp) []Recommendation {
 	followees := e.ds.Graph.Out(u)
 	if len(followees) == 0 {
 		return nil
 	}
+	profile := e.store.Profile(u) // sorted ascending; includes streamed shares
+	shared := func(t TweetID) bool {
+		i := sort.Search(len(profile), func(i int) bool { return profile[i] >= t })
+		return i < len(profile) && profile[i] == t
+	}
 	agg := make(map[TweetID]float64)
 	for _, v := range followees {
 		for _, r := range e.rec.Recommend(v, k, now) {
+			if e.ds.Tweets[r.Tweet].Author == u || shared(r.Tweet) {
+				continue
+			}
 			agg[r.Tweet] += r.Score
 		}
 	}
@@ -218,20 +252,35 @@ func (e *Engine) coldStartRecommend(u UserID, k int, now Timestamp) []Recommenda
 
 // PropagateScores runs one propagation for a hypothetical tweet shared by
 // seeds and returns every reached user with its predicted probability.
-// It exposes the raw §5 algorithm for analysis and tooling.
+// It exposes the raw §5 algorithm for analysis and tooling. Concurrent
+// callers each check a propagator out of a sync.Pool, so parallel calls
+// never share scratch buffers.
 func (e *Engine) PropagateScores(seeds []UserID) map[UserID]float64 {
-	prop := propagation.New(e.rec.Graph(), propagation.DefaultConfig())
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	g := e.rec.Graph()
+	prop, _ := e.props.Get().(*propagation.Propagator)
+	if prop == nil {
+		prop = propagation.New(g, propagation.DefaultConfig())
+	} else {
+		prop.Rebind(g)
+	}
 	res := prop.Propagate(seeds, len(seeds))
 	out := make(map[UserID]float64, res.Len())
 	for i, u := range res.Users {
 		out[u] = res.Scores[i]
 	}
+	e.props.Put(prop)
 	return out
 }
 
 // GraphCharacteristics measures the current similarity graph (Table 4).
 func (e *Engine) GraphCharacteristics(pathSamples int) simgraph.Characteristics {
+	e.mu.RLock()
 	g := e.rec.Graph()
+	e.mu.RUnlock()
+	// The graph is immutable once installed; measuring outside the lock
+	// keeps this long BFS-heavy read from delaying writers.
 	var srcs []UserID
 	for u := 0; u < g.NumNodes() && len(srcs) < pathSamples; u++ {
 		if g.OutDegree(UserID(u)) > 0 {
@@ -242,12 +291,20 @@ func (e *Engine) GraphCharacteristics(pathSamples int) simgraph.Characteristics 
 }
 
 // Similarity returns sim(u, v) under the engine's current profiles.
-func (e *Engine) Similarity(u, v UserID) float64 { return e.store.Sim(u, v) }
+func (e *Engine) Similarity(u, v UserID) float64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.store.Sim(u, v)
+}
 
 // RefreshGraph rebuilds or repairs the similarity graph with one of the
 // paper's §6.3 strategies, folding in every action observed since
-// construction. The recommender keeps its pooled candidates.
+// construction. The recommender keeps its pooled candidates. RefreshGraph
+// is a writer: readers observe either the old or the new graph, never a
+// half-built one.
 func (e *Engine) RefreshGraph(strategy UpdateStrategy) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	g := simgraph.Update(strategy, e.rec.Graph(), e.ds.Graph, e.store, e.recommenderConfig().Graph)
 	rec := simgraph.NewRecommender(e.recommenderConfig())
 	rec.InitWithGraph(e.ctx, g)
@@ -260,6 +317,8 @@ func (e *Engine) RefreshGraph(strategy UpdateStrategy) {
 
 // ObservedActions returns a copy of the actions streamed in so far.
 func (e *Engine) ObservedActions() []Action {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	out := make([]Action, len(e.observed))
 	copy(out, e.observed)
 	return out
@@ -274,7 +333,9 @@ var _ = dataset.SortActions // keep the dataset import for the type aliases
 // those with no retweet in the training log or no sufficiently similar
 // neighbour (the paper's cold-start cohort, §4.1).
 func (e *Engine) ColdStartUsers() []UserID {
+	e.mu.RLock()
 	g := e.rec.Graph()
+	e.mu.RUnlock()
 	var out []UserID
 	for u := 0; u < g.NumNodes(); u++ {
 		if g.OutDegree(ids.UserID(u)) == 0 && g.InDegree(ids.UserID(u)) == 0 {
@@ -292,8 +353,11 @@ type BubbleAssignment = bubbles.Assignment
 // graph with label propagation and returns the assignment plus its
 // weighted modularity (higher = stronger bubble structure).
 func (e *Engine) DetectBubbles() (*BubbleAssignment, float64) {
-	a := bubbles.Detect(e.rec.Graph(), bubbles.DefaultConfig())
-	return a, bubbles.Modularity(e.rec.Graph(), a)
+	e.mu.RLock()
+	g := e.rec.Graph()
+	e.mu.RUnlock()
+	a := bubbles.Detect(g, bubbles.DefaultConfig())
+	return a, bubbles.Modularity(g, a)
 }
 
 // RecommendDiverse is Recommend with bubble-escape re-ranking: no single
@@ -303,6 +367,8 @@ func (e *Engine) RecommendDiverse(a *BubbleAssignment, u UserID, k int, now Time
 	if int(u) >= e.ds.NumUsers() || k <= 0 {
 		return nil
 	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	d := bubbles.NewDiversifier(e.rec, a, func(t TweetID) UserID { return e.ds.Tweets[t].Author })
 	if maxBubbleShare > 0 {
 		d.MaxBubbleShare = maxBubbleShare

@@ -130,6 +130,28 @@ func New(g wgraph.View, cfg Config) *Propagator {
 	}
 }
 
+// Rebind points the propagator at a different similarity-graph view,
+// regrowing the scratch buffers if the new view is larger. It lets a
+// pooled propagator survive graph refreshes (the Engine keeps a sync.Pool
+// of per-worker propagators across RefreshGraph calls).
+func (pr *Propagator) Rebind(g wgraph.View) {
+	pr.g = g
+	pr.ensureScratch(g.NumNodes())
+}
+
+// ensureScratch grows the dense scratch slices to hold at least n nodes.
+// Views can grow between calls (an Overlay whose base was swapped, or a
+// Rebind to a bigger graph), so Propagate must never trust the size the
+// scratch had at New time.
+func (pr *Propagator) ensureScratch(n int) {
+	if n <= len(pr.p) {
+		return
+	}
+	pr.p = append(pr.p, make([]float64, n-len(pr.p))...)
+	pr.seed = append(pr.seed, make([]bool, n-len(pr.seed))...)
+	pr.inQ = append(pr.inQ, make([]bool, n-len(pr.inQ))...)
+}
+
 // Result holds the sparse outcome of one propagation: users (other than
 // the seeds) with their predicted share probability.
 type Result struct {
@@ -152,10 +174,12 @@ func (r *Result) Len() int { return len(r.Users) }
 func (pr *Propagator) Propagate(seeds []ids.UserID, popularity int) Result {
 	cutoff := pr.cfg.Threshold.Cutoff(popularity)
 	n := pr.g.NumNodes()
+	pr.ensureScratch(n)
 
 	// Reset state from the previous run (scratch reuse keeps this
-	// allocation-free in steady state).
-	for i := range pr.p {
+	// allocation-free in steady state). Only the first n entries are ever
+	// read below, so a shrunken view leaves stale tail values untouched.
+	for i := 0; i < n; i++ {
 		pr.p[i] = 0
 		pr.seed[i] = false
 		pr.inQ[i] = false

@@ -106,6 +106,18 @@ func (s *Scheduler) Due(now ids.Timestamp) []Batch {
 	return out
 }
 
+// Drop discards the pending batch for tweet, if any. Callers use it when
+// a tweet ages out of the recommendation horizon: propagating its batch
+// would only recreate per-tweet state that eviction just removed.
+func (s *Scheduler) Drop(tweet ids.TweetID) {
+	b := s.pending[tweet]
+	if b == nil {
+		return
+	}
+	heap.Remove(&s.pq, b.heapIndex)
+	delete(s.pending, tweet)
+}
+
 // Flush pops every pending batch regardless of due time (end of stream).
 func (s *Scheduler) Flush() []Batch {
 	var out []Batch

@@ -11,6 +11,7 @@ package recsys
 import (
 	"container/heap"
 	"sort"
+	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/ids"
@@ -74,28 +75,38 @@ type Recommender interface {
 // tweets lazily. It serves the three message-centric methods (SimGraph,
 // CF, Bayes): observing a message updates candidate scores for tracked
 // users; Recommend drains the freshest top-k.
+//
+// The pool is safe for concurrent use. Locking is split per tracked user
+// (one mutex per slot), so readers of different users never contend and
+// the serving layer scales with cores; only same-user operations
+// serialize. The tracked map itself is immutable after NewPool.
 type Pool struct {
-	tracked   map[ids.UserID]int // user → slot
-	entries   []map[ids.TweetID]float64
-	pubTimes  func(ids.TweetID) ids.Timestamp
-	maxAge    ids.Timestamp
-	retweeted []map[ids.TweetID]struct{} // per slot: tweets the user already shared
+	tracked  map[ids.UserID]int // user → slot; read-only after NewPool
+	slots    []poolSlot
+	pubTimes func(ids.TweetID) ids.Timestamp
+	maxAge   ids.Timestamp
+}
+
+// poolSlot is one tracked user's candidate state plus its lock.
+type poolSlot struct {
+	mu        sync.Mutex
+	entries   map[ids.TweetID]float64
+	retweeted map[ids.TweetID]struct{} // tweets the user already shared
 }
 
 // NewPool creates a pool for the tracked users. pubTime resolves a
 // tweet's publication time for freshness eviction.
 func NewPool(tracked []ids.UserID, pubTime func(ids.TweetID) ids.Timestamp, maxAge ids.Timestamp) *Pool {
 	p := &Pool{
-		tracked:   make(map[ids.UserID]int, len(tracked)),
-		entries:   make([]map[ids.TweetID]float64, len(tracked)),
-		retweeted: make([]map[ids.TweetID]struct{}, len(tracked)),
-		pubTimes:  pubTime,
-		maxAge:    maxAge,
+		tracked:  make(map[ids.UserID]int, len(tracked)),
+		slots:    make([]poolSlot, len(tracked)),
+		pubTimes: pubTime,
+		maxAge:   maxAge,
 	}
 	for i, u := range tracked {
 		p.tracked[u] = i
-		p.entries[i] = make(map[ids.TweetID]float64)
-		p.retweeted[i] = make(map[ids.TweetID]struct{})
+		p.slots[i].entries = make(map[ids.TweetID]float64)
+		p.slots[i].retweeted = make(map[ids.TweetID]struct{})
 	}
 	return p
 }
@@ -107,14 +118,20 @@ func (p *Pool) Tracks(u ids.UserID) bool {
 }
 
 // Bump raises u's candidate score for t to at least score (no-op for
-// untracked users).
+// untracked users and tweets the user already shared).
 func (p *Pool) Bump(u ids.UserID, t ids.TweetID, score float64) {
 	slot, ok := p.tracked[u]
 	if !ok {
 		return
 	}
-	if cur, exists := p.entries[slot][t]; !exists || score > cur {
-		p.entries[slot][t] = score
+	s := &p.slots[slot]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, shared := s.retweeted[t]; shared {
+		return
+	}
+	if cur, exists := s.entries[t]; !exists || score > cur {
+		s.entries[t] = score
 	}
 }
 
@@ -124,7 +141,13 @@ func (p *Pool) Add(u ids.UserID, t ids.TweetID, score float64) {
 	if !ok {
 		return
 	}
-	p.entries[slot][t] += score
+	s := &p.slots[slot]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, shared := s.retweeted[t]; shared {
+		return
+	}
+	s.entries[t] += score
 }
 
 // MarkRetweeted records that u shared t, removing it from u's candidates
@@ -134,8 +157,11 @@ func (p *Pool) MarkRetweeted(u ids.UserID, t ids.TweetID) {
 	if !ok {
 		return
 	}
-	p.retweeted[slot][t] = struct{}{}
-	delete(p.entries[slot], t)
+	s := &p.slots[slot]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.retweeted[t] = struct{}{}
+	delete(s.entries, t)
 }
 
 // TopK returns u's best k fresh candidates at time now, evicting expired
@@ -145,18 +171,20 @@ func (p *Pool) TopK(u ids.UserID, k int, now ids.Timestamp) []ScoredTweet {
 	if !ok {
 		return nil
 	}
-	m := p.entries[slot]
+	s := &p.slots[slot]
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var expired []ids.TweetID
 	h := NewTopK(k)
-	for t, s := range m {
+	for t, sc := range s.entries {
 		if now-p.pubTimes(t) > p.maxAge {
 			expired = append(expired, t)
 			continue
 		}
-		h.Offer(t, s)
+		h.Offer(t, sc)
 	}
 	for _, t := range expired {
-		delete(m, t)
+		delete(s.entries, t)
 	}
 	return h.Ranked()
 }
@@ -167,7 +195,10 @@ func (p *Pool) Size(u ids.UserID) int {
 	if !ok {
 		return 0
 	}
-	return len(p.entries[slot])
+	s := &p.slots[slot]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
 }
 
 // TopK is a bounded min-heap that keeps the k highest-scored tweets.

@@ -1,6 +1,8 @@
 package simgraph
 
 import (
+	"sync"
+
 	"repro/internal/dataset"
 	"repro/internal/ids"
 	"repro/internal/propagation"
@@ -41,13 +43,25 @@ func DefaultRecommenderConfig() RecommenderConfig {
 }
 
 // Recommender is the paper's system: similarity graph + propagation.
-// It implements recsys.Recommender. Not safe for concurrent use.
+// It implements recsys.Recommender.
+//
+// Concurrency: after Init, the recommender is safe for concurrent use.
+// Recommend calls from many goroutines proceed in parallel (the candidate
+// pool is lock-split per user); the streaming state below — incremental
+// propagator scratch, scheduler, per-tweet states — is guarded by mu, so
+// Observe and the postponed-batch drain inside Recommend serialize
+// against each other but never corrupt shared state. Init/InitWithGraph
+// must still happen-before any concurrent calls.
 type Recommender struct {
-	cfg   RecommenderConfig
-	ds    *dataset.Dataset
-	sim   *wgraph.Graph
+	cfg  RecommenderConfig
+	ds   *dataset.Dataset
+	sim  *wgraph.Graph
+	pool *recsys.Pool
+
+	// mu guards the streaming propagation state: inc (shared scratch),
+	// sched, states, counts, and the eviction queue.
+	mu    sync.Mutex
 	inc   *propagation.Incremental
-	pool  *recsys.Pool
 	sched *propagation.Scheduler
 
 	// Per-tweet propagation state with lifetime eviction.
@@ -107,27 +121,49 @@ func (r *Recommender) attach(ctx *recsys.Context) {
 // schedule.
 func (r *Recommender) Observe(a dataset.Action) {
 	r.pool.MarkRetweeted(a.User, a.Tweet)
+	if a.Time-r.ds.Tweets[a.Tweet].Time > r.cfg.MaxAge {
+		// The tweet is past the freshness horizon: its propagation state
+		// was (or would immediately be) evicted, and recreating it would
+		// append the old tweet to the back of evictQueue, breaking the
+		// publication-ordered prefix scan that eviction relies on. The
+		// share is still recorded in the pool above so the tweet is never
+		// recommended back; the propagation itself is dropped.
+		return
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, seen := r.counts[a.Tweet]; !seen {
+		// First observation enters the tweet into the eviction queue —
+		// keyed on counts, not states, so postponed batches that never
+		// propagate still have their bookkeeping reclaimed.
+		r.evictQueue = append(r.evictQueue, a.Tweet)
+	}
 	r.counts[a.Tweet]++
 	r.evictExpired(a.Time)
 
 	if r.sched == nil {
-		r.addSeeds(a.Tweet, []ids.UserID{a.User})
+		r.addSeeds(a.Tweet, []ids.UserID{a.User}, a.Time)
 		return
 	}
 	r.sched.Observe(a.Tweet, a.User, a.Time, r.counts[a.Tweet])
 	for _, b := range r.sched.Due(a.Time) {
-		r.addSeeds(b.Tweet, b.Users)
+		r.addSeeds(b.Tweet, b.Users, a.Time)
 	}
 }
 
 // addSeeds propagates new sharers of one tweet and refreshes pooled
-// scores for the users whose probability changed.
-func (r *Recommender) addSeeds(t ids.TweetID, users []ids.UserID) {
+// scores for the users whose probability changed. Callers hold r.mu.
+func (r *Recommender) addSeeds(t ids.TweetID, users []ids.UserID, now ids.Timestamp) {
 	st := r.states[t]
 	if st == nil {
+		if now-r.ds.Tweets[t].Time > r.cfg.MaxAge {
+			// Evicted (or never fresh) by the time the batch drained:
+			// never resurrect expired per-tweet state.
+			return
+		}
 		st = propagation.NewTweetState()
 		r.states[t] = st
-		r.evictQueue = append(r.evictQueue, t)
 		// The author is an implicit sharer of their own post.
 		users = append([]ids.UserID{r.ds.Tweets[t].Author}, users...)
 	}
@@ -138,8 +174,10 @@ func (r *Recommender) addSeeds(t ids.TweetID, users []ids.UserID) {
 }
 
 // evictExpired drops propagation state of tweets past the freshness
-// horizon. Tweets enter evictQueue in first-propagation order, which is
-// publication-correlated, so a prefix scan suffices.
+// horizon. Tweets enter evictQueue in first-observation order, which is
+// publication-correlated, so a prefix scan suffices (stale observations
+// are dropped in Observe, preserving the ordering invariant). Callers
+// hold r.mu.
 func (r *Recommender) evictExpired(now ids.Timestamp) {
 	for r.evictHead < len(r.evictQueue) {
 		t := r.evictQueue[r.evictHead]
@@ -147,6 +185,10 @@ func (r *Recommender) evictExpired(now ids.Timestamp) {
 			break
 		}
 		delete(r.states, t)
+		delete(r.counts, t)
+		if r.sched != nil {
+			r.sched.Drop(t)
+		}
 		r.evictHead++
 	}
 	// Compact occasionally so the queue does not grow without bound.
@@ -156,12 +198,16 @@ func (r *Recommender) evictExpired(now ids.Timestamp) {
 	}
 }
 
-// Recommend implements recsys.Recommender.
+// Recommend implements recsys.Recommender. Safe for concurrent callers:
+// with postponement off it touches only the lock-split pool; with
+// postponement on, the due-batch drain serializes on r.mu first.
 func (r *Recommender) Recommend(u ids.UserID, k int, now ids.Timestamp) []recsys.ScoredTweet {
 	if r.sched != nil {
+		r.mu.Lock()
 		for _, b := range r.sched.Due(now) {
-			r.addSeeds(b.Tweet, b.Users)
+			r.addSeeds(b.Tweet, b.Users, now)
 		}
+		r.mu.Unlock()
 	}
 	return r.pool.TopK(u, k, now)
 }
