@@ -474,6 +474,18 @@ func BenchmarkSimGraphBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkSimGraphBuildPairwise is the reference per-pair construction
+// path; the ratio to BenchmarkSimGraphBuild is the inverted-index
+// kernel's speedup (tracked in BENCH_simgraph.json via cmd/benchjson).
+func BenchmarkSimGraphBuildPairwise(b *testing.B) {
+	benchSetup(b)
+	cfg := simgraph.DefaultConfig()
+	cfg.Pairwise = true
+	for i := 0; i < b.N; i++ {
+		simgraph.Build(benchState.ds.Graph, benchState.store, cfg)
+	}
+}
+
 func BenchmarkFollowGraphBFS(b *testing.B) {
 	benchSetup(b)
 	g := benchState.ds.Graph

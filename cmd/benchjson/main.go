@@ -1,0 +1,157 @@
+// Command benchjson runs the SimGraph-construction benchmarks and emits
+// a machine-readable baseline (BENCH_simgraph.json) so the perf
+// trajectory of the inverted-index kernel is tracked PR over PR:
+//
+//	benchjson [-users 1200] [-seed 1] [-runs 3] [-observe 2000] [-out BENCH_simgraph.json]
+//
+// It measures, on the synthetic benchmark graph:
+//   - full similarity-graph build time, pairwise reference vs SimBatch
+//     kernel (best of -runs), verifying the edge sets are bit-identical;
+//   - construction throughput in edges/sec;
+//   - Engine.RefreshGraph cost split: graph build time (read-locked)
+//     vs exclusive write-lock hold for the recommender swap.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"repro"
+	"repro/internal/dataset"
+	"repro/internal/gen"
+	"repro/internal/simgraph"
+	"repro/internal/similarity"
+	"repro/internal/wgraph"
+)
+
+// report is the BENCH_simgraph.json schema.
+type report struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	CPUs        int    `json:"cpus"`
+	Users       int    `json:"users"`
+	Seed        uint64 `json:"seed"`
+	Runs        int    `json:"runs"`
+
+	Build struct {
+		Edges          int     `json:"edges"`
+		PairwiseMs     float64 `json:"pairwise_build_ms"`
+		KernelMs       float64 `json:"kernel_build_ms"`
+		Speedup        float64 `json:"speedup"`
+		EdgesPerSecond float64 `json:"edges_per_sec"`
+		BitIdentical   bool    `json:"bit_identical"`
+	} `json:"build"`
+
+	Refresh struct {
+		Strategy        string  `json:"strategy"`
+		ObservedActions int     `json:"observed_actions"`
+		BuildMs         float64 `json:"build_ms"`
+		LockHoldMs      float64 `json:"lock_hold_ms"`
+	} `json:"refresh"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+
+	var (
+		users   = flag.Int("users", 1200, "synthetic dataset size (matches bench_test.go)")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		runs    = flag.Int("runs", 3, "timing runs per variant (best kept)")
+		observe = flag.Int("observe", 2000, "actions streamed into the engine before RefreshGraph")
+		out     = flag.String("out", "BENCH_simgraph.json", "output file")
+	)
+	flag.Parse()
+
+	ds, err := gen.Generate(gen.DefaultConfig(*users, *seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	store := similarity.NewStore(ds.NumUsers(), ds.NumTweets(), ds.Actions)
+
+	var r report
+	r.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	r.GoVersion = runtime.Version()
+	r.CPUs = runtime.NumCPU()
+	r.Users = *users
+	r.Seed = *seed
+	r.Runs = *runs
+
+	kernelCfg := simgraph.DefaultConfig()
+	pairCfg := kernelCfg
+	pairCfg.Pairwise = true
+
+	kernelG, kernelT := timedBuild(ds, store, kernelCfg, *runs)
+	pairG, pairT := timedBuild(ds, store, pairCfg, *runs)
+	r.Build.Edges = kernelG.NumEdges()
+	r.Build.KernelMs = ms(kernelT)
+	r.Build.PairwiseMs = ms(pairT)
+	r.Build.Speedup = pairT.Seconds() / kernelT.Seconds()
+	r.Build.EdgesPerSecond = float64(kernelG.NumEdges()) / kernelT.Seconds()
+	r.Build.BitIdentical = kernelG.NumEdges() == pairG.NumEdges() &&
+		simgraph.Diff(pairG, kernelG) == (simgraph.Delta{})
+	if !r.Build.BitIdentical {
+		log.Fatalf("kernel graph diverged from pairwise reference: %+v", simgraph.Diff(pairG, kernelG))
+	}
+
+	eng, err := repro.NewEngine(ds, repro.DefaultEngineOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := *observe
+	if n > len(ds.Actions) {
+		n = len(ds.Actions)
+	}
+	for _, a := range ds.Actions[len(ds.Actions)-n:] {
+		if err := eng.Observe(a.User, a.Tweet, a.Time); err != nil {
+			log.Fatal(err)
+		}
+	}
+	best := eng.RefreshGraphStats(repro.UpdateFromScratch)
+	for i := 1; i < *runs; i++ {
+		st := eng.RefreshGraphStats(repro.UpdateFromScratch)
+		if st.BuildTime+st.LockHold < best.BuildTime+best.LockHold {
+			best = st
+		}
+	}
+	r.Refresh.Strategy = repro.UpdateFromScratch.String()
+	r.Refresh.ObservedActions = n
+	r.Refresh.BuildMs = ms(best.BuildTime)
+	r.Refresh.LockHoldMs = ms(best.LockHold)
+
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("build: %d edges, kernel %.1fms vs pairwise %.1fms (%.1fx), %.0f edges/sec\n",
+		r.Build.Edges, r.Build.KernelMs, r.Build.PairwiseMs, r.Build.Speedup, r.Build.EdgesPerSecond)
+	fmt.Printf("refresh(%s): build %.1fms read-locked, write lock held %.2fms\n",
+		r.Refresh.Strategy, r.Refresh.BuildMs, r.Refresh.LockHoldMs)
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// timedBuild builds the graph runs times and returns it with the best
+// wall time.
+func timedBuild(ds *dataset.Dataset, store *similarity.Store, cfg simgraph.Config, runs int) (*wgraph.Graph, time.Duration) {
+	var g *wgraph.Graph
+	best := time.Duration(0)
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		g = simgraph.Build(ds.Graph, store, cfg)
+		if d := time.Since(start); i == 0 || d < best {
+			best = d
+		}
+	}
+	return g, best
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }

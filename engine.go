@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/bubbles"
 
@@ -91,13 +92,16 @@ func DefaultEngineOptions() EngineOptions {
 // ColdStartUsers, DetectBubbles, ObservedActions — may be called from any
 // number of goroutines simultaneously; reads scale with GOMAXPROCS
 // because the candidate pools are lock-split per user and the similarity
-// graph is immutable between refreshes. Observe and RefreshGraph are
-// writers: they take the exclusive lock, so a streamed retweet or a graph
-// rebuild briefly quiesces readers but can safely interleave with them.
+// graph is immutable between refreshes. Observe is a writer: it takes the
+// exclusive lock, so a streamed retweet briefly quiesces readers but can
+// safely interleave with them. RefreshGraph builds the new graph under
+// the read lock and takes the exclusive lock only for the swap, so a
+// rebuild stalls readers for the swap alone, not the construction.
 type Engine struct {
-	// mu is the facade lock: read methods take RLock, Observe and
-	// RefreshGraph take Lock (they mutate the profile store, the observed
-	// log, and — for RefreshGraph — swap the recommender wholesale).
+	// mu is the facade lock: read methods take RLock, Observe takes Lock
+	// (it mutates the profile store and the observed log). RefreshGraph
+	// builds read-locked — excluding Observe, so the store is stable —
+	// then swaps the recommender under a brief exclusive section.
 	mu    sync.RWMutex
 	ds    *Dataset
 	opts  EngineOptions
@@ -297,22 +301,60 @@ func (e *Engine) Similarity(u, v UserID) float64 {
 	return e.store.Sim(u, v)
 }
 
+// RefreshStats reports the cost split of one RefreshGraph call: the
+// expensive graph construction (which runs under the read lock, so
+// recommendation traffic keeps flowing) versus the brief exclusive
+// section that swaps the recommender in. LockHold is the serving-latency
+// budget a refresh actually costs readers.
+type RefreshStats struct {
+	// BuildTime is the similarity-graph construction time (read-locked).
+	BuildTime time.Duration
+	// LockHold is how long the exclusive write lock was held for the swap
+	// and the replay of streamed actions.
+	LockHold time.Duration
+	// Edges is the edge count of the installed graph.
+	Edges int
+}
+
 // RefreshGraph rebuilds or repairs the similarity graph with one of the
 // paper's §6.3 strategies, folding in every action observed since
-// construction. The recommender keeps its pooled candidates. RefreshGraph
-// is a writer: readers observe either the old or the new graph, never a
-// half-built one.
+// construction. The recommender keeps its pooled candidates. Readers
+// observe either the old or the new graph, never a half-built one.
+//
+// The heavy construction runs under the read lock — it excludes writers
+// (the profile store stays stable) but recommendation reads proceed
+// throughout — and only the recommender swap plus the replay of streamed
+// actions holds the exclusive lock. Retweets observed between the two
+// phases are folded into the new recommender's pools by the replay; they
+// appear as graph edges on the next refresh, exactly as actions streamed
+// after a fully-locked rebuild would have.
 func (e *Engine) RefreshGraph(strategy UpdateStrategy) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.RefreshGraphStats(strategy)
+}
+
+// RefreshGraphStats is RefreshGraph returning its cost split.
+func (e *Engine) RefreshGraphStats(strategy UpdateStrategy) RefreshStats {
+	var st RefreshStats
+	start := time.Now()
+	e.mu.RLock()
 	g := simgraph.Update(strategy, e.rec.Graph(), e.ds.Graph, e.store, e.recommenderConfig().Graph)
+	e.mu.RUnlock()
+	st.BuildTime = time.Since(start)
+	st.Edges = g.NumEdges()
+
+	e.mu.Lock()
+	locked := time.Now()
 	rec := simgraph.NewRecommender(e.recommenderConfig())
 	rec.InitWithGraph(e.ctx, g)
-	// Re-observe the streamed actions so seeds/pools carry over.
+	// Re-observe the streamed actions so seeds/pools carry over — this
+	// also covers anything that arrived while the graph was building.
 	for _, a := range e.observed {
 		rec.Observe(a)
 	}
 	e.rec = rec
+	st.LockHold = time.Since(locked)
+	e.mu.Unlock()
+	return st
 }
 
 // ObservedActions returns a copy of the actions streamed in so far.

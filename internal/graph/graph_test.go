@@ -105,6 +105,31 @@ func TestBFSBoundedMatchesFullBFS(t *testing.T) {
 	}
 }
 
+// A reused BoundedBFS must return the same frontier as one-off calls,
+// with distances non-decreasing (capNeighborhood and the hop-1 cap rely
+// on that ordering).
+func TestBoundedBFSReuse(t *testing.T) {
+	g := randomGraph(300, 5, 42)
+	var b BoundedBFS
+	for src := 0; src < 300; src += 7 {
+		for _, hops := range []int{1, 2, 3} {
+			wantNodes, wantDist := g.BFSBounded(ids.UserID(src), hops)
+			gotNodes, gotDist := b.Explore(g, ids.UserID(src), hops)
+			if !reflect.DeepEqual(append([]ids.UserID{}, gotNodes...), wantNodes) {
+				t.Fatalf("src %d hops %d: reused scratch nodes differ", src, hops)
+			}
+			if !reflect.DeepEqual(append([]int8{}, gotDist...), wantDist) {
+				t.Fatalf("src %d hops %d: reused scratch dists differ", src, hops)
+			}
+			for i := 1; i < len(gotDist); i++ {
+				if gotDist[i] < gotDist[i-1] {
+					t.Fatalf("src %d: distances not non-decreasing: %v", src, gotDist)
+				}
+			}
+		}
+	}
+}
+
 func TestNeighborhood2(t *testing.T) {
 	g := buildDiamond()
 	n2 := g.Neighborhood2(0)

@@ -35,37 +35,63 @@ func (g *Graph) BFS(src ids.UserID, dist []int32) []int32 {
 	return dist
 }
 
-// BFSBounded returns the set of nodes at distance 1..maxHops from src
-// (following out-edges), excluding src itself, along with each node's
-// distance. Intended for the 2-hop neighbourhood exploration N2(u); it
-// touches only the visited frontier so it is fast on sparse graphs.
-func (g *Graph) BFSBounded(src ids.UserID, maxHops int) (nodes []ids.UserID, dist []int8) {
-	type item struct {
-		u ids.UserID
-		d int8
+// BoundedBFS is reusable scratch for repeated bounded explorations from
+// different sources over graphs of the same node space. The visited set
+// is an epoch-stamped array — bumping the epoch invalidates it in O(1),
+// so a worker that explores thousands of sources (SimGraph construction)
+// never clears or reallocates between calls. The zero value is ready to
+// use. Not safe for concurrent use; give each worker its own.
+type BoundedBFS struct {
+	epoch uint32
+	seen  []uint32
+	nodes []ids.UserID
+	dist  []int8
+}
+
+// Explore returns the nodes at distance 1..maxHops from src (following
+// out-edges), excluding src itself, along with each node's distance.
+// Nodes appear in BFS order, so distances are non-decreasing. The
+// returned slices alias the scratch and are valid until the next call.
+func (b *BoundedBFS) Explore(g *Graph, src ids.UserID, maxHops int) (nodes []ids.UserID, dist []int8) {
+	if len(b.seen) < g.n {
+		b.seen = make([]uint32, g.n)
+		b.epoch = 0
 	}
-	seen := map[ids.UserID]int8{src: 0}
-	queue := []item{{src, 0}}
-	for head := 0; head < len(queue); head++ {
-		it := queue[head]
-		if int(it.d) >= maxHops {
-			continue
+	b.epoch++
+	if b.epoch == 0 { // wrapped after 2^32 calls: clear and restart
+		for i := range b.seen {
+			b.seen[i] = 0
 		}
-		for _, v := range g.Out(it.u) {
-			if _, ok := seen[v]; ok {
+		b.epoch = 1
+	}
+	// The queue doubles as the result: slot 0 holds src and is trimmed
+	// from the returned view.
+	b.nodes = append(b.nodes[:0], src)
+	b.dist = append(b.dist[:0], 0)
+	b.seen[src] = b.epoch
+	for head := 0; head < len(b.nodes); head++ {
+		d := b.dist[head]
+		if int(d) >= maxHops {
+			break // BFS order: every later node is at least this far
+		}
+		for _, v := range g.Out(b.nodes[head]) {
+			if b.seen[v] == b.epoch {
 				continue
 			}
-			seen[v] = it.d + 1
-			queue = append(queue, item{v, it.d + 1})
+			b.seen[v] = b.epoch
+			b.nodes = append(b.nodes, v)
+			b.dist = append(b.dist, d+1)
 		}
 	}
-	nodes = make([]ids.UserID, 0, len(seen)-1)
-	dist = make([]int8, 0, len(seen)-1)
-	for _, it := range queue[1:] {
-		nodes = append(nodes, it.u)
-		dist = append(dist, it.d)
-	}
-	return nodes, dist
+	return b.nodes[1:], b.dist[1:]
+}
+
+// BFSBounded is the one-off form of BoundedBFS.Explore, kept for callers
+// that explore a single source. Intended for the 2-hop neighbourhood
+// exploration N2(u); repeated callers should hold a BoundedBFS instead.
+func (g *Graph) BFSBounded(src ids.UserID, maxHops int) (nodes []ids.UserID, dist []int8) {
+	var b BoundedBFS
+	return b.Explore(g, src, maxHops)
 }
 
 // Neighborhood2 returns the distinct nodes reachable from src in at most

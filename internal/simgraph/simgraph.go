@@ -50,6 +50,10 @@ type Config struct {
 	MaxOutDegree int
 	// Workers is the construction parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// Pairwise forces the reference per-pair Sim path instead of the
+	// inverted-index SimBatch kernel. The two produce bit-identical
+	// graphs; the knob exists for verification and benchmark baselines.
+	Pairwise bool
 }
 
 // DefaultConfig returns the configuration used in the experiments.
@@ -93,9 +97,10 @@ func Build(follow *graph.Graph, store *similarity.Store, cfg Config) *wgraph.Gra
 		go func() {
 			defer wg.Done()
 			var local []wgraph.Edge
+			var sc buildScratch // BFS buffers, batch accumulators, top-M heap
 			for t := range tasks {
 				for u := t.lo; u < t.hi; u++ {
-					local = appendEdgesFor(local, follow, store, ids.UserID(u), cfg)
+					local = appendEdgesFor(local, follow, store, ids.UserID(u), cfg, &sc)
 				}
 			}
 			results <- local
@@ -126,35 +131,134 @@ func Build(follow *graph.Graph, store *similarity.Store, cfg Config) *wgraph.Gra
 	return wgraph.NewFromEdges(n, edges)
 }
 
+// buildScratch is the per-worker reusable state for appendEdgesFor: BFS
+// frontier buffers, the batch-kernel accumulators, the candidate and
+// similarity slices, and the bounded top-M heap. Everything grows on
+// demand and is retained across source users, so steady-state
+// construction allocates only the emitted edges.
+type buildScratch struct {
+	bfs   graph.BoundedBFS
+	batch similarity.BatchScratch
+	cands []ids.UserID
+	sims  []float64
+	top   []wgraph.Edge
+}
+
 // appendEdgesFor explores from u and appends the surviving edges.
-func appendEdgesFor(edges []wgraph.Edge, follow *graph.Graph, store *similarity.Store, u ids.UserID, cfg Config) []wgraph.Edge {
+func appendEdgesFor(edges []wgraph.Edge, follow *graph.Graph, store *similarity.Store, u ids.UserID, cfg Config, sc *buildScratch) []wgraph.Edge {
 	if store.ProfileSize(u) < cfg.MinProfile {
 		return edges
 	}
-	nodes, _ := follow.BFSBounded(u, cfg.Hops)
-	if cfg.MaxNeighborhood > 0 && len(nodes) > cfg.MaxNeighborhood {
-		nodes = nodes[:cfg.MaxNeighborhood]
-	}
-	start := len(edges)
+	nodes, dist := sc.bfs.Explore(follow, u, cfg.Hops)
+	nodes = capNeighborhood(nodes, dist, cfg.MaxNeighborhood)
+
+	// Users with empty profiles can never clear tau; dropping them here
+	// keeps them out of the similarity kernel's membership array.
+	cands := sc.cands[:0]
 	for _, w := range nodes {
-		if store.ProfileSize(w) == 0 {
+		if store.ProfileSize(w) > 0 {
+			cands = append(cands, w)
+		}
+	}
+	sc.cands = cands
+
+	if cfg.Pairwise {
+		if cap(sc.sims) < len(cands) {
+			sc.sims = make([]float64, len(cands))
+		}
+		sc.sims = sc.sims[:len(cands)]
+		for i, w := range cands {
+			sc.sims[i] = store.Sim(u, w)
+		}
+	} else {
+		sc.sims = store.SimBatch(u, cands, &sc.batch, sc.sims)
+	}
+
+	if cfg.MaxOutDegree <= 0 {
+		for i, w := range cands {
+			if sim := sc.sims[i]; sim >= cfg.Tau {
+				edges = append(edges, wgraph.Edge{From: u, To: w, Weight: float32(sim)})
+			}
+		}
+		return edges
+	}
+
+	// Keep the top MaxOutDegree edges with a bounded min-heap instead of
+	// sorting every surviving edge: O(|C| log M) and no O(|C|)-sized sort
+	// buffer. Ordering is (weight desc, To asc), matching the previous
+	// full-sort-and-truncate edge set exactly.
+	sc.top = sc.top[:0]
+	for i, w := range cands {
+		sim := sc.sims[i]
+		if sim < cfg.Tau {
 			continue
 		}
-		if sim := store.Sim(u, w); sim >= cfg.Tau {
-			edges = append(edges, wgraph.Edge{From: u, To: w, Weight: float32(sim)})
+		e := wgraph.Edge{From: u, To: w, Weight: float32(sim)}
+		if len(sc.top) < cfg.MaxOutDegree {
+			sc.top = append(sc.top, e)
+			siftUp(sc.top, len(sc.top)-1)
+		} else if edgeLess(sc.top[0], e) {
+			sc.top[0] = e
+			siftDown(sc.top, 0)
 		}
 	}
-	if cfg.MaxOutDegree > 0 && len(edges)-start > cfg.MaxOutDegree {
-		mine := edges[start:]
-		sort.Slice(mine, func(i, j int) bool {
-			if mine[i].Weight != mine[j].Weight {
-				return mine[i].Weight > mine[j].Weight
-			}
-			return mine[i].To < mine[j].To
-		})
-		edges = edges[:start+cfg.MaxOutDegree]
+	return append(edges, sc.top...)
+}
+
+// capNeighborhood truncates an exploration result to at most max nodes
+// without ever dropping hop-1 neighbours. BFS order is non-decreasing in
+// distance, so the direct followees form a prefix and the cap removes
+// only the hop-2+ tail; raw truncation could arbitrarily drop whole
+// hop-2 regions and, for users following more than max accounts, even
+// direct followees.
+func capNeighborhood(nodes []ids.UserID, dist []int8, max int) []ids.UserID {
+	if max <= 0 || len(nodes) <= max {
+		return nodes
 	}
-	return edges
+	h1 := sort.Search(len(dist), func(i int) bool { return dist[i] > 1 })
+	if h1 > max {
+		max = h1
+	}
+	return nodes[:max]
+}
+
+// edgeLess orders edges worst-first for the bounded heap: an edge is
+// "less" when it loses to the other under (weight desc, To asc), so the
+// heap root is the weakest kept edge.
+func edgeLess(a, b wgraph.Edge) bool {
+	if a.Weight != b.Weight {
+		return a.Weight < b.Weight
+	}
+	return a.To > b.To
+}
+
+func siftUp(h []wgraph.Edge, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !edgeLess(h[i], h[parent]) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func siftDown(h []wgraph.Edge, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h) && edgeLess(h[l], h[min]) {
+			min = l
+		}
+		if r < len(h) && edgeLess(h[r], h[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
 }
 
 // Characteristics summarizes a similarity graph as in Table 4.

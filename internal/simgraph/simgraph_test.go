@@ -1,9 +1,11 @@
 package simgraph
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/dataset"
+	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/ids"
 	"repro/internal/similarity"
@@ -121,6 +123,104 @@ func TestMaxOutDegreeCap(t *testing.T) {
 		if _, ok := sg.Weight(0, v); !ok {
 			t.Errorf("cap dropped top neighbour %d", v)
 		}
+	}
+}
+
+// The inverted-index kernel must produce a bit-identical graph to the
+// pairwise reference path on a realistic generated dataset, across
+// configs (caps on/off, topics on/off) and after streaming updates.
+func TestBuildKernelMatchesPairwise(t *testing.T) {
+	ds, err := gen.Generate(gen.DefaultConfig(500, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := similarity.NewStore(ds.NumUsers(), ds.NumTweets(), ds.Actions)
+	configs := []Config{
+		DefaultConfig(),
+		{Tau: 1e-6, Hops: 2, MaxNeighborhood: 0, MaxOutDegree: 0},
+		{Tau: 0.001, Hops: 2, MaxNeighborhood: 50, MaxOutDegree: 5},
+		{Tau: 0.003, Hops: 1, MaxNeighborhood: 4000, MaxOutDegree: 25},
+	}
+	check := func(cfg Config, label string) {
+		t.Helper()
+		kernel := Build(ds.Graph, store, cfg)
+		cfg.Pairwise = true
+		ref := Build(ds.Graph, store, cfg)
+		if kernel.NumEdges() != ref.NumEdges() {
+			t.Fatalf("%s: kernel %d edges, pairwise %d", label, kernel.NumEdges(), ref.NumEdges())
+		}
+		if d := Diff(ref, kernel); d != (Delta{}) {
+			t.Fatalf("%s: kernel graph differs from pairwise: %+v", label, d)
+		}
+	}
+	for i, cfg := range configs {
+		check(cfg, fmt.Sprintf("config %d", i))
+	}
+	// Stream some actions (posting lists maintained incrementally) and
+	// re-check; also exercise updateWeights' batched path.
+	for i := 0; i < 200; i++ {
+		store.Observe(ids.UserID(i%ds.NumUsers()), ds.Actions[i%len(ds.Actions)].Tweet)
+	}
+	check(DefaultConfig(), "after observes")
+
+	base := Build(ds.Graph, store, DefaultConfig())
+	uw := Update(UpdateWeights, base, ds.Graph, store, DefaultConfig())
+	for _, e := range uw.Edges() {
+		if want := store.Sim(e.From, e.To); float64(e.Weight) != float64(float32(want)) {
+			t.Fatalf("updateWeights edge %d→%d weight %v, pairwise %v", e.From, e.To, e.Weight, float32(want))
+		}
+	}
+}
+
+func TestCapNeighborhoodKeepsHopOne(t *testing.T) {
+	// dist is non-decreasing (BFS order): 3 hop-1 nodes, 4 hop-2 nodes.
+	nodes := []ids.UserID{1, 2, 3, 4, 5, 6, 7}
+	dist := []int8{1, 1, 1, 2, 2, 2, 2}
+
+	// Cap above len: untouched.
+	if got := capNeighborhood(nodes, dist, 10); len(got) != 7 {
+		t.Fatalf("cap 10 kept %d", len(got))
+	}
+	// Cap 0 = unlimited.
+	if got := capNeighborhood(nodes, dist, 0); len(got) != 7 {
+		t.Fatalf("cap 0 kept %d", len(got))
+	}
+	// Cap between h1 and len: trims only the hop-2 tail.
+	got := capNeighborhood(nodes, dist, 5)
+	if len(got) != 5 || got[0] != 1 || got[4] != 5 {
+		t.Fatalf("cap 5 = %v", got)
+	}
+	// Cap below the hop-1 count: every hop-1 node survives anyway.
+	got = capNeighborhood(nodes, dist, 2)
+	if len(got) != 3 {
+		t.Fatalf("cap 2 kept %d nodes, want all 3 hop-1", len(got))
+	}
+	for i, w := range got {
+		if w != nodes[i] {
+			t.Fatalf("cap reordered nodes: %v", got)
+		}
+	}
+}
+
+func TestMaxNeighborhoodNeverDropsFollowees(t *testing.T) {
+	// Hub user 0 follows 30 users, all similar to 0; a tiny cap used to
+	// truncate the followee list itself.
+	b := graph.NewBuilder(31, 30)
+	b.SetNumNodes(31)
+	var actions []dataset.Action
+	actions = append(actions, dataset.Action{User: 0, Tweet: 0, Time: 0})
+	for v := 1; v <= 30; v++ {
+		b.AddEdge(0, ids.UserID(v))
+		actions = append(actions, dataset.Action{User: ids.UserID(v), Tweet: 0, Time: ids.Timestamp(v)})
+	}
+	store := similarity.NewStore(31, 1, actions)
+	cfg := DefaultConfig()
+	cfg.Tau = 1e-9
+	cfg.MaxNeighborhood = 5
+	cfg.MaxOutDegree = 0
+	sg := Build(b.Build(), store, cfg)
+	if got := sg.OutDegree(0); got != 30 {
+		t.Fatalf("hub out-degree %d, want 30 (cap must not drop hop-1 followees)", got)
 	}
 }
 

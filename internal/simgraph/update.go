@@ -70,17 +70,34 @@ func Update(strategy UpdateStrategy, prev *wgraph.Graph, follow *graph.Graph, st
 }
 
 // updateWeights recomputes every existing edge's similarity; edges that
-// fall below τ are dropped.
+// fall below τ are dropped. Edges() is sorted by (From, To), so each
+// source user's out-edges form a run that the SimBatch kernel refreshes
+// in one pass over the user's posting lists.
 func updateWeights(prev *wgraph.Graph, store *similarity.Store, cfg Config) *wgraph.Graph {
 	edges := prev.Edges()
 	kept := edges[:0]
-	for _, e := range edges {
-		sim := store.Sim(e.From, e.To)
-		if sim < cfg.Tau {
-			continue
+	var sc similarity.BatchScratch
+	var cands []ids.UserID
+	var sims []float64
+	for lo := 0; lo < len(edges); {
+		u := edges[lo].From
+		hi := lo
+		for hi < len(edges) && edges[hi].From == u {
+			hi++
 		}
-		e.Weight = float32(sim)
-		kept = append(kept, e)
+		cands = cands[:0]
+		for _, e := range edges[lo:hi] {
+			cands = append(cands, e.To)
+		}
+		sims = store.SimBatch(u, cands, &sc, sims)
+		for i, e := range edges[lo:hi] {
+			if sims[i] < cfg.Tau {
+				continue
+			}
+			e.Weight = float32(sims[i])
+			kept = append(kept, e)
+		}
+		lo = hi
 	}
 	return wgraph.NewFromEdges(prev.NumNodes(), kept)
 }

@@ -12,6 +12,12 @@
 // global popularity table, supports O(|Lu|+|Lv|) similarity via sorted
 // merge, and allows incremental observation of new retweets so the
 // incremental update strategies (§6.3) can refresh edge weights in place.
+//
+// It also maintains the transpose of the profile matrix — an inverted
+// index mapping each tweet to the sorted set of users who retweeted it —
+// which drives the SimBatch kernel (simbatch.go): similarity of one user
+// against a whole candidate neighbourhood in a single pass over the
+// user's posting lists instead of one sorted merge per pair.
 package similarity
 
 import (
@@ -29,6 +35,7 @@ type Store struct {
 	profiles [][]ids.TweetID // per user, sorted ascending
 	pop      []int32         // per tweet, number of retweets m(i)
 	weights  []float32       // per tweet, min(1, 1/ln(1+m)) — cached
+	postings [][]ids.UserID  // per tweet, sorted distinct retweeters (transpose of profiles)
 
 	// Topic blending (§7 future work); see EnableTopics in topic.go.
 	topicOf    func(ids.TweetID) int16
@@ -62,6 +69,7 @@ func NewStore(numUsers, numTweets int, actions []dataset.Action) *Store {
 		s.profiles[u] = dedupTweets(p)
 	}
 	s.rebuildWeights()
+	s.rebuildPostings()
 	return s
 }
 
@@ -86,6 +94,38 @@ func (s *Store) rebuildWeights() {
 	}
 }
 
+// rebuildPostings recomputes the inverted index from the (deduplicated,
+// sorted) profiles. Scanning users in ascending order keeps every posting
+// list sorted without a per-list sort.
+func (s *Store) rebuildPostings() {
+	perTweet := make([]int32, len(s.pop))
+	for _, p := range s.profiles {
+		for _, t := range p {
+			perTweet[t]++
+		}
+	}
+	s.postings = make([][]ids.UserID, len(s.pop))
+	for t, c := range perTweet {
+		if c > 0 {
+			s.postings[t] = make([]ids.UserID, 0, c)
+		}
+	}
+	for u, p := range s.profiles {
+		for _, t := range p {
+			s.postings[t] = append(s.postings[t], ids.UserID(u))
+		}
+	}
+}
+
+// Retweeters returns the sorted distinct users who retweeted t (shared
+// storage; do not modify).
+func (s *Store) Retweeters(t ids.TweetID) []ids.UserID {
+	if int(t) >= len(s.postings) {
+		return nil
+	}
+	return s.postings[t]
+}
+
 // popularityWeight is 1/ln(1+m) clamped to [0,1]. The clamp keeps
 // sim(u,v) ≤ 1 even for tweets retweeted only once (the paper restricts
 // itself to m ≥ 2 where the clamp never fires).
@@ -100,12 +140,13 @@ func popularityWeight(m int32) float32 {
 	return float32(w)
 }
 
-// Observe records a new retweet, updating the profile and popularity. The
-// cached weight for the tweet is refreshed.
+// Observe records a new retweet, updating the profile, the popularity,
+// and the inverted index. The cached weight for the tweet is refreshed.
 func (s *Store) Observe(u ids.UserID, t ids.TweetID) {
 	for int(t) >= len(s.pop) {
 		s.pop = append(s.pop, 0)
 		s.weights = append(s.weights, 1)
+		s.postings = append(s.postings, nil)
 	}
 	s.pop[t]++
 	s.weights[t] = popularityWeight(s.pop[t])
@@ -118,6 +159,13 @@ func (s *Store) Observe(u ids.UserID, t ids.TweetID) {
 	copy(p[i+1:], p[i:])
 	p[i] = t
 	s.profiles[u] = p
+	// Mirror the set insert into the posting list (sorted by user).
+	pl := s.postings[t]
+	j := sort.Search(len(pl), func(j int) bool { return pl[j] >= u })
+	pl = append(pl, 0)
+	copy(pl[j+1:], pl[j:])
+	pl[j] = u
+	s.postings[t] = pl
 	if s.topicOf != nil {
 		s.bumpTopic(u, s.topicOf(t))
 	}
@@ -178,20 +226,6 @@ func (s *Store) tweetSim(u, v ids.UserID) float64 {
 	}
 	union := len(pu) + len(pv) - inter
 	return num / float64(union)
-}
-
-// SimAgainst computes sim(u, v) for every v in candidates, writing results
-// into out (allocated if too small) and returning it. This is the hot
-// inner loop of SimGraph construction; it avoids per-pair allocations.
-func (s *Store) SimAgainst(u ids.UserID, candidates []ids.UserID, out []float64) []float64 {
-	if cap(out) < len(candidates) {
-		out = make([]float64, len(candidates))
-	}
-	out = out[:len(candidates)]
-	for i, v := range candidates {
-		out[i] = s.Sim(u, v)
-	}
-	return out
 }
 
 // TopSimilar returns the k users with the highest non-zero similarity to

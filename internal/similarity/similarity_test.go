@@ -181,14 +181,41 @@ func TestTopSimilar(t *testing.T) {
 	}
 }
 
-func TestSimAgainstMatchesSim(t *testing.T) {
+func TestRetweetersMatchProfiles(t *testing.T) {
 	s := randomStore(25, 30, 180, 9)
-	cands := []ids.UserID{1, 3, 5, 7, 9}
-	out := s.SimAgainst(2, cands, nil)
-	for i, v := range cands {
-		if out[i] != s.Sim(2, v) {
-			t.Fatalf("SimAgainst[%d] = %v, want %v", i, out[i], s.Sim(2, v))
+	for tw := 0; tw < 30; tw++ {
+		rts := s.Retweeters(ids.TweetID(tw))
+		for i, u := range rts {
+			if i > 0 && rts[i-1] >= u {
+				t.Fatalf("posting list of tweet %d not sorted/distinct: %v", tw, rts)
+			}
+			found := false
+			for _, pt := range s.Profile(u) {
+				if pt == ids.TweetID(tw) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("tweet %d lists retweeter %d whose profile lacks it", tw, u)
+			}
 		}
+	}
+	// And the transpose direction: every profile entry appears in postings.
+	for u := 0; u < 25; u++ {
+		for _, tw := range s.Profile(ids.UserID(u)) {
+			found := false
+			for _, v := range s.Retweeters(tw) {
+				if v == ids.UserID(u) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("user %d retweeted %d but is missing from its posting list", u, tw)
+			}
+		}
+	}
+	if s.Retweeters(9999) != nil {
+		t.Error("unknown tweet should have no retweeters")
 	}
 }
 
