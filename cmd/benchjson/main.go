@@ -10,6 +10,11 @@
 //   - construction throughput in edges/sec;
 //   - Engine.RefreshGraph cost split: graph build time (read-locked)
 //     vs exclusive write-lock hold for the recommender swap.
+//
+// It also emits BENCH_propagation.json (see prop.go): the epoch-stamped
+// incremental propagation kernel vs the frozen reference on a streaming
+// replay (fixpoints verified bit-identical), and the postponed-batch
+// drain serial vs parallel.
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 	"repro"
 	"repro/internal/dataset"
 	"repro/internal/gen"
+	"repro/internal/recsys"
 	"repro/internal/simgraph"
 	"repro/internal/similarity"
 	"repro/internal/wgraph"
@@ -65,6 +71,12 @@ func main() {
 		runs    = flag.Int("runs", 3, "timing runs per variant (best kept)")
 		observe = flag.Int("observe", 2000, "actions streamed into the engine before RefreshGraph")
 		out     = flag.String("out", "BENCH_simgraph.json", "output file")
+
+		propNodes    = flag.Int("propNodes", 20000, "synthetic graph size for the propagation replay")
+		propDeg      = flag.Int("propDeg", 8, "average degree of the propagation replay graph")
+		propTweets   = flag.Int("propTweets", 60, "concurrently-hot tweets in the propagation replay")
+		propPerTweet = flag.Int("propPerTweet", 10, "shares streamed per tweet in the propagation replay")
+		propOut      = flag.String("propOut", "BENCH_propagation.json", "propagation report output file")
 	)
 	flag.Parse()
 
@@ -137,6 +149,14 @@ func main() {
 	fmt.Printf("refresh(%s): build %.1fms read-locked, write lock held %.2fms\n",
 		r.Refresh.Strategy, r.Refresh.BuildMs, r.Refresh.LockHoldMs)
 	fmt.Printf("wrote %s\n", *out)
+
+	var tracked []repro.UserID
+	for u := 0; u < ds.NumUsers(); u++ {
+		tracked = append(tracked, repro.UserID(u))
+	}
+	ctx := recsys.NewContext(ds, ds.Actions, tracked, *seed)
+	propagationBench(*propNodes, *propDeg, *propTweets, *propPerTweet, *runs, *seed,
+		ds, ctx, kernelG, *observe, *propOut)
 }
 
 // timedBuild builds the graph runs times and returns it with the best

@@ -54,6 +54,10 @@ type EngineOptions struct {
 	StaticBeta float64
 	// Postpone batches propagations on the adaptive time-frame schedule.
 	Postpone bool
+	// DrainWorkers bounds the worker pool that propagates due postponed
+	// batches in parallel. <= 0 picks min(GOMAXPROCS, 8); 1 forces a
+	// serial drain. Only meaningful with Postpone.
+	DrainWorkers int
 	// MaxAge is the recommendation freshness horizon (paper: 72 h).
 	MaxAge Timestamp
 	// TrackUsers limits recommendation state to these users; nil tracks
@@ -173,6 +177,7 @@ func (e *Engine) recommenderConfig() simgraph.RecommenderConfig {
 		rcfg.Prop.Threshold = propagation.StaticThreshold(e.opts.StaticBeta)
 	}
 	rcfg.Postpone = e.opts.Postpone
+	rcfg.DrainWorkers = e.opts.DrainWorkers
 	return rcfg
 }
 
@@ -355,6 +360,16 @@ func (e *Engine) RefreshGraphStats(strategy UpdateStrategy) RefreshStats {
 	st.LockHold = time.Since(locked)
 	e.mu.Unlock()
 	return st
+}
+
+// PropagationStats returns the cumulative streaming-propagation counters
+// of the current recommender (reset by RefreshGraph, which installs a
+// fresh one): propagations run, user scores recomputed, frontier rounds,
+// and the postponed-drain batch counts and wall time.
+func (e *Engine) PropagationStats() simgraph.PropagationStats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.rec.Stats()
 }
 
 // ObservedActions returns a copy of the actions streamed in so far.

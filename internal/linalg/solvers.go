@@ -19,6 +19,33 @@ type SolveStats struct {
 	Residual   float64 // max-norm of the last update, not the true residual
 }
 
+// diagIndex locates each row's diagonal entry once, so the stationary
+// solvers' inner loops split the row around it instead of re-scanning
+// every row for its diagonal on every iteration. Rows without a diagonal
+// entry (or with an explicit zero) get -1, surfaced as ErrZeroDiagonal
+// when the sweep first reaches them — matching the lazy detection of the
+// scan they replace. CSR rows are column-sorted, so a forward scan stops
+// at the first col >= r.
+func diagIndex(a *CSR) []int32 {
+	di := make([]int32, a.Rows)
+	for r := 0; r < a.Rows; r++ {
+		di[r] = -1
+		cols, vals := a.Row(r)
+		for i, c := range cols {
+			if int(c) == r {
+				if vals[i] != 0 {
+					di[r] = int32(i)
+				}
+				break
+			}
+			if int(c) > r {
+				break
+			}
+		}
+	}
+	return di
+}
+
 // Jacobi solves Ax = b with the Jacobi method, starting from x (which may
 // be nil for a zero start). Convergence is declared when the max-norm of
 // the update falls below tol. Returns the solution and solve statistics.
@@ -31,25 +58,28 @@ func Jacobi(a *CSR, b, x []float64, tol float64, maxIter int) ([]float64, SolveS
 		x = make([]float64, n)
 	}
 	next := make([]float64, n)
+	di := diagIndex(a)
 	var st SolveStats
 	for st.Iterations = 1; st.Iterations <= maxIter; st.Iterations++ {
 		var maxDelta float64
 		for r := 0; r < n; r++ {
 			cols, vals := a.Row(r)
-			var diag, sum float64
-			for i, c := range cols {
-				if int(c) == r {
-					diag = vals[i]
-				} else {
-					sum += vals[i] * x[c]
-				}
-			}
-			if diag == 0 {
+			d := di[r]
+			if d < 0 {
 				return nil, st, ErrZeroDiagonal
 			}
-			next[r] = (b[r] - sum) / diag
-			if d := math.Abs(next[r] - x[r]); d > maxDelta {
-				maxDelta = d
+			// Split the row around the diagonal: same addition order as
+			// the skip-the-diagonal scan, without the per-entry compare.
+			var sum float64
+			for i := int32(0); i < d; i++ {
+				sum += vals[i] * x[cols[i]]
+			}
+			for i := d + 1; i < int32(len(cols)); i++ {
+				sum += vals[i] * x[cols[i]]
+			}
+			next[r] = (b[r] - sum) / vals[d]
+			if dd := math.Abs(next[r] - x[r]); dd > maxDelta {
+				maxDelta = dd
 			}
 		}
 		x, next = next, x
@@ -84,26 +114,27 @@ func sorSolve(a *CSR, b, x []float64, omega, tol float64, maxIter int) ([]float6
 	if x == nil {
 		x = make([]float64, n)
 	}
+	di := diagIndex(a)
 	var st SolveStats
 	for st.Iterations = 1; st.Iterations <= maxIter; st.Iterations++ {
 		var maxDelta float64
 		for r := 0; r < n; r++ {
 			cols, vals := a.Row(r)
-			var diag, sum float64
-			for i, c := range cols {
-				if int(c) == r {
-					diag = vals[i]
-				} else {
-					sum += vals[i] * x[c]
-				}
-			}
-			if diag == 0 {
+			d := di[r]
+			if d < 0 {
 				return nil, st, ErrZeroDiagonal
 			}
-			gs := (b[r] - sum) / diag
+			var sum float64
+			for i := int32(0); i < d; i++ {
+				sum += vals[i] * x[cols[i]]
+			}
+			for i := d + 1; i < int32(len(cols)); i++ {
+				sum += vals[i] * x[cols[i]]
+			}
+			gs := (b[r] - sum) / vals[d]
 			nx := x[r] + omega*(gs-x[r])
-			if d := math.Abs(nx - x[r]); d > maxDelta {
-				maxDelta = d
+			if dd := math.Abs(nx - x[r]); dd > maxDelta {
+				maxDelta = dd
 			}
 			x[r] = nx
 		}

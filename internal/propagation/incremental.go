@@ -2,6 +2,7 @@ package propagation
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/ids"
 	"repro/internal/wgraph"
@@ -19,7 +20,13 @@ import (
 // nodes with the previous scores as the starting point converges to the
 // same fixpoint Algorithm 1 reaches from scratch; the package tests
 // verify the equivalence.
+//
+// TweetState carries its own mutex so independent tweets can be
+// propagated by concurrent workers (the parallel postponed-batch drain):
+// a caller holds Lock across AddSeeds plus any read of P/Changed, and
+// states of distinct tweets never contend.
 type TweetState struct {
+	mu      sync.Mutex
 	P       map[ids.UserID]float64
 	Seeds   map[ids.UserID]struct{}
 	Changed []ids.UserID // users whose score changed in the last call
@@ -33,13 +40,36 @@ func NewTweetState() *TweetState {
 	}
 }
 
+// Lock acquires the per-tweet mutex. Concurrent propagations into the
+// same state must serialize on it; single-threaded callers may skip it.
+func (st *TweetState) Lock() { st.mu.Lock() }
+
+// Unlock releases the per-tweet mutex.
+func (st *TweetState) Unlock() { st.mu.Unlock() }
+
 // Incremental runs incremental propagations over one similarity graph.
-// It owns scratch shared across tweets; not safe for concurrent use.
+// It owns scratch shared across tweets; not safe for concurrent use —
+// the parallel drain checks one out per worker.
+//
+// The hot loop runs entirely on epoch-stamped dense scratch (epoch.go):
+// AddSeeds scatters the sparse TweetState into dense arrays once, so the
+// per-edge influencer probe inside recompute is an array load instead of
+// a map lookup, and changed users are gathered back into the state at the
+// end. RefIncremental freezes the previous map-probing implementation as
+// the differential baseline.
 type Incremental struct {
-	cfg   Config
-	g     wgraph.View
-	inQ   map[ids.UserID]struct{}
-	queue []ids.UserID
+	cfg Config
+	g   wgraph.View
+
+	p       epochVec   // dense view of st.P for the current call
+	seed    epochMarks // dense view of st.Seeds
+	inQ     epochMarks // queued-for-recompute marker
+	changed epochMarks // dedups st.Changed without a per-call map
+	queue   []ids.UserID
+
+	// Stats of the last AddSeeds call.
+	lastRecomputed int
+	lastRounds     int
 }
 
 // NewIncremental returns an incremental propagator over g.
@@ -50,90 +80,127 @@ func NewIncremental(g wgraph.View, cfg Config) *Incremental {
 	if cfg.MaxIterations <= 0 {
 		cfg.MaxIterations = 200
 	}
-	return &Incremental{
-		cfg: cfg,
-		g:   g,
-		inQ: make(map[ids.UserID]struct{}),
-	}
+	return &Incremental{cfg: cfg, g: g}
 }
 
 // AddSeeds pins the given users to probability 1 in st and propagates the
 // change outward. popularity is the tweet's current retweet count (drives
 // the dynamic threshold). st.Changed lists every non-seed user whose
-// score changed.
+// score changed, in discovery order. Callers coordinating concurrent
+// workers must hold st's lock.
 func (inc *Incremental) AddSeeds(st *TweetState, seeds []ids.UserID, popularity int) {
 	cutoff := inc.cfg.Threshold.Cutoff(popularity)
 	st.Changed = st.Changed[:0]
-	clear(inc.inQ)
+	n := inc.g.NumNodes()
+	inc.p.reset(n)
+	inc.seed.reset(n)
+	inc.inQ.reset(n)
+	inc.changed.reset(n)
 	inc.queue = inc.queue[:0]
 
-	n := inc.g.NumNodes()
+	// Scatter the sparse state into the dense scratch — O(|st.P|), paid
+	// once per call instead of one map probe per visited edge.
+	for u, p := range st.P {
+		if int(u) < n {
+			inc.p.set(u, p)
+		}
+	}
+	for u := range st.Seeds {
+		if int(u) < n {
+			inc.seed.add(u)
+		}
+	}
+
 	for _, s := range seeds {
 		if int(s) >= n {
 			continue
 		}
-		if _, dup := st.Seeds[s]; dup {
-			continue
+		if inc.seed.has(s) {
+			continue // already a seed (or duplicated within this batch)
 		}
+		inc.seed.add(s)
 		st.Seeds[s] = struct{}{}
 		st.P[s] = 1
-		inc.enqueueInfluenced(st, s)
+		inc.p.set(s, 1)
+		inc.enqueueInfluenced(s)
 	}
 
 	// Budget: cap total recomputations like the dense algorithm caps
 	// iterations; with per-node work this is MaxIterations × a generous
 	// frontier width.
 	budget := inc.cfg.MaxIterations * 4096
-	changed := make(map[ids.UserID]struct{})
+	recomputed, rounds := 0, 0
+	roundEnd := len(inc.queue)
+	if roundEnd > 0 {
+		rounds = 1
+	}
 	for head := 0; head < len(inc.queue) && budget > 0; head++ {
+		if head == roundEnd {
+			rounds++
+			roundEnd = len(inc.queue)
+		}
 		u := inc.queue[head]
-		delete(inc.inQ, u)
-		if _, isSeed := st.Seeds[u]; isSeed {
+		inc.inQ.del(u)
+		if inc.seed.has(u) {
 			continue
 		}
 		budget--
-		nv := inc.recompute(st, u)
-		old := st.P[u]
+		recomputed++
+		nv := inc.recompute(u)
+		old := inc.p.get(u)
 		delta := math.Abs(nv - old)
 		if nv == 0 && old == 0 {
 			continue
 		}
-		st.P[u] = nv
-		changed[u] = struct{}{}
+		inc.p.set(u, nv)
+		if !inc.changed.has(u) {
+			inc.changed.add(u)
+			st.Changed = append(st.Changed, u)
+		}
 		if delta >= cutoff {
-			inc.enqueueInfluenced(st, u)
+			inc.enqueueInfluenced(u)
 		}
 	}
-	for u := range changed {
-		st.Changed = append(st.Changed, u)
+	inc.lastRecomputed = recomputed
+	inc.lastRounds = rounds
+
+	// Gather: fold the final dense scores of changed users back into the
+	// sparse state — one map write per changed user, not per recompute.
+	for _, u := range st.Changed {
+		st.P[u] = inc.p.val[u]
 	}
 }
 
-// recompute evaluates Definition 4.2 for u against the sparse state.
-func (inc *Incremental) recompute(st *TweetState, u ids.UserID) float64 {
+// LastRecomputed reports how many user-score recomputations the most
+// recent AddSeeds performed.
+func (inc *Incremental) LastRecomputed() int { return inc.lastRecomputed }
+
+// LastRounds reports the frontier depth (BFS levels entered) of the most
+// recent AddSeeds.
+func (inc *Incremental) LastRounds() int { return inc.lastRounds }
+
+// recompute evaluates Definition 4.2 for u against the dense scratch.
+func (inc *Incremental) recompute(u ids.UserID) float64 {
 	to, w := inc.g.Out(u)
 	if len(to) == 0 {
 		return 0
 	}
 	var sum float64
 	for i, v := range to {
-		if pv, ok := st.P[v]; ok && pv != 0 {
+		if pv := inc.p.get(v); pv != 0 {
 			sum += pv * float64(w[i])
 		}
 	}
 	return sum / float64(len(to))
 }
 
-func (inc *Incremental) enqueueInfluenced(st *TweetState, v ids.UserID) {
+func (inc *Incremental) enqueueInfluenced(v ids.UserID) {
 	from, _ := inc.g.In(v)
 	for _, u := range from {
-		if _, isSeed := st.Seeds[u]; isSeed {
+		if inc.seed.has(u) || inc.inQ.has(u) {
 			continue
 		}
-		if _, queued := inc.inQ[u]; queued {
-			continue
-		}
-		inc.inQ[u] = struct{}{}
+		inc.inQ.add(u)
 		inc.queue = append(inc.queue, u)
 	}
 }

@@ -23,6 +23,7 @@ package propagation
 
 import (
 	"math"
+	"slices"
 
 	"repro/internal/ids"
 	"repro/internal/linalg"
@@ -100,13 +101,25 @@ func DefaultConfig() Config {
 // Propagator runs Algorithm 1 over a similarity-graph view. A Propagator
 // owns reusable scratch buffers, so it is NOT safe for concurrent use;
 // create one per worker goroutine.
+//
+// The dense scratch is epoch-stamped (see epoch.go): starting a call
+// bumps an epoch counter instead of clearing three |V|-sized arrays, and
+// a touched-list records exactly the users whose score was written, so
+// both the per-call reset and the result collection cost O(touched)
+// rather than O(|V|). RefPropagator freezes the previous dense-reset
+// implementation as the differential baseline.
 type Propagator struct {
-	cfg   Config
-	g     wgraph.View
-	p     []float64 // current probabilities, dense
-	seed  []bool    // true for users in D
-	inQ   []bool    // queued-for-recompute marker
-	queue []ids.UserID
+	cfg  Config
+	g    wgraph.View
+	p    epochVec   // current probabilities; unstamped slots read 0
+	seed epochMarks // users in D
+	inQ  epochMarks // queued-for-recompute marker
+	// queue/spare double-buffer the frontier rounds so steady state
+	// allocates nothing; touched lists every user whose score was written
+	// this call (seeds included), for O(touched) result collection.
+	queue   []ids.UserID
+	spare   []ids.UserID
+	touched []ids.UserID
 	// Stats of the last run.
 	lastIters   int
 	lastTouched int
@@ -120,36 +133,16 @@ func New(g wgraph.View, cfg Config) *Propagator {
 	if cfg.MaxIterations <= 0 {
 		cfg.MaxIterations = 200
 	}
-	n := g.NumNodes()
-	return &Propagator{
-		cfg:  cfg,
-		g:    g,
-		p:    make([]float64, n),
-		seed: make([]bool, n),
-		inQ:  make([]bool, n),
-	}
+	return &Propagator{cfg: cfg, g: g}
 }
 
-// Rebind points the propagator at a different similarity-graph view,
-// regrowing the scratch buffers if the new view is larger. It lets a
-// pooled propagator survive graph refreshes (the Engine keeps a sync.Pool
-// of per-worker propagators across RefreshGraph calls).
+// Rebind points the propagator at a different similarity-graph view. It
+// lets a pooled propagator survive graph refreshes (the Engine keeps a
+// sync.Pool of per-worker propagators across RefreshGraph calls); the
+// epoch-stamped scratch regrows on the next Propagate, which never trusts
+// the size the view had at New or Rebind time.
 func (pr *Propagator) Rebind(g wgraph.View) {
 	pr.g = g
-	pr.ensureScratch(g.NumNodes())
-}
-
-// ensureScratch grows the dense scratch slices to hold at least n nodes.
-// Views can grow between calls (an Overlay whose base was swapped, or a
-// Rebind to a bigger graph), so Propagate must never trust the size the
-// scratch had at New time.
-func (pr *Propagator) ensureScratch(n int) {
-	if n <= len(pr.p) {
-		return
-	}
-	pr.p = append(pr.p, make([]float64, n-len(pr.p))...)
-	pr.seed = append(pr.seed, make([]bool, n-len(pr.seed))...)
-	pr.inQ = append(pr.inQ, make([]bool, n-len(pr.inQ))...)
 }
 
 // Result holds the sparse outcome of one propagation: users (other than
@@ -174,24 +167,23 @@ func (r *Result) Len() int { return len(r.Users) }
 func (pr *Propagator) Propagate(seeds []ids.UserID, popularity int) Result {
 	cutoff := pr.cfg.Threshold.Cutoff(popularity)
 	n := pr.g.NumNodes()
-	pr.ensureScratch(n)
 
-	// Reset state from the previous run (scratch reuse keeps this
-	// allocation-free in steady state). Only the first n entries are ever
-	// read below, so a shrunken view leaves stale tail values untouched.
-	for i := 0; i < n; i++ {
-		pr.p[i] = 0
-		pr.seed[i] = false
-		pr.inQ[i] = false
-	}
+	// O(1) reset: bump the epochs instead of clearing dense state. The
+	// scratch regrows here if the view grew (an Overlay whose base was
+	// swapped, or a Rebind to a bigger graph); a shrunken view is safe
+	// because stale tail slots are unstamped and read as 0.
+	pr.p.reset(n)
+	pr.seed.reset(n)
+	pr.inQ.reset(n)
 	pr.queue = pr.queue[:0]
+	pr.touched = pr.touched[:0]
 
 	for _, s := range seeds {
 		if int(s) >= n {
 			continue
 		}
-		pr.p[s] = 1
-		pr.seed[s] = true
+		pr.setP(s, 1)
+		pr.seed.add(s)
 	}
 
 	// Initial frontier: users influenced by a seed (in-neighbours in the
@@ -213,35 +205,47 @@ func (pr *Propagator) Propagate(seeds []ids.UserID, popularity int) Result {
 	for len(pr.queue) > 0 && iters < pr.cfg.MaxIterations {
 		iters++
 		round := pr.queue
-		pr.queue = nil
+		pr.queue = pr.spare[:0]
 		for _, u := range round {
-			pr.inQ[u] = false
+			pr.inQ.del(u)
 		}
 		for _, u := range round {
-			if pr.seed[u] {
+			if pr.seed.has(u) {
 				continue
 			}
 			nv := pr.recompute(u)
-			delta := math.Abs(nv - pr.p[u])
-			pr.p[u] = nv
+			delta := math.Abs(nv - pr.p.get(u))
+			pr.setP(u, nv)
 			touched++
 			if delta >= cutoff {
 				pr.enqueueInfluenced(u)
 			}
 		}
+		pr.spare = round[:0]
 	}
 	pr.lastIters = iters
 	pr.lastTouched = touched
 
+	// O(touched) result collection. Sorting keeps the ascending-user
+	// order the previous O(|V|) sweep produced, so results stay
+	// deterministic and byte-comparable across implementations.
+	slices.Sort(pr.touched)
 	var res Result
-	for u := 0; u < n; u++ {
-		if pr.seed[u] || pr.p[u] <= pr.cfg.MinScore {
+	for _, u := range pr.touched {
+		if pr.seed.has(u) || pr.p.val[u] <= pr.cfg.MinScore {
 			continue
 		}
-		res.Users = append(res.Users, ids.UserID(u))
-		res.Scores = append(res.Scores, pr.p[u])
+		res.Users = append(res.Users, u)
+		res.Scores = append(res.Scores, pr.p.val[u])
 	}
 	return res
+}
+
+// setP writes u's score, maintaining the touched-list.
+func (pr *Propagator) setP(u ids.UserID, x float64) {
+	if pr.p.set(u, x) {
+		pr.touched = append(pr.touched, u)
+	}
 }
 
 // recompute evaluates Definition 4.2 for user u.
@@ -252,7 +256,7 @@ func (pr *Propagator) recompute(u ids.UserID) float64 {
 	}
 	var sum float64
 	for i, v := range to {
-		if pv := pr.p[v]; pv != 0 {
+		if pv := pr.p.get(v); pv != 0 {
 			sum += pv * float64(w[i])
 		}
 	}
@@ -264,10 +268,10 @@ func (pr *Propagator) recompute(u ids.UserID) float64 {
 func (pr *Propagator) enqueueInfluenced(v ids.UserID) {
 	from, _ := pr.g.In(v)
 	for _, u := range from {
-		if pr.seed[u] || pr.inQ[u] {
+		if pr.seed.has(u) || pr.inQ.has(u) {
 			continue
 		}
-		pr.inQ[u] = true
+		pr.inQ.add(u)
 		pr.queue = append(pr.queue, u)
 	}
 }
@@ -289,6 +293,9 @@ func DensePropagate(g wgraph.View, seeds []ids.UserID, tol float64, maxIter int)
 	next := make([]float64, n)
 	isSeed := make([]bool, n)
 	for _, s := range seeds {
+		if int(s) >= n {
+			continue // out-of-range seed: ignore, as Propagate does
+		}
 		p[s] = 1
 		next[s] = 1
 		isSeed[s] = true
@@ -334,6 +341,9 @@ func LinearSystem(g wgraph.View, seeds []ids.UserID) (*linalg.CSR, []float64, er
 	n := g.NumNodes()
 	isSeed := make([]bool, n)
 	for _, s := range seeds {
+		if int(s) >= n {
+			continue // out-of-range seed: ignore, as Propagate does
+		}
 		isSeed[s] = true
 	}
 	b := make([]float64, n)

@@ -97,13 +97,21 @@ type Batch struct {
 
 // Due pops every batch whose frame expired at or before now.
 func (s *Scheduler) Due(now ids.Timestamp) []Batch {
-	var out []Batch
+	return s.DueAppend(now, nil)
+}
+
+// DueAppend is Due appending into buf, so a caller that drains on every
+// observation can reuse one buffer and pop allocation-free. The
+// Batch.Users slices are handed off: they stay valid after further
+// Observe calls, but buf itself is only valid until the next DueAppend
+// into it.
+func (s *Scheduler) DueAppend(now ids.Timestamp, buf []Batch) []Batch {
 	for s.pq.Len() > 0 && s.pq[0].due <= now {
 		b := heap.Pop(&s.pq).(*batch)
 		delete(s.pending, b.tweet)
-		out = append(out, Batch{Tweet: b.tweet, Users: b.users})
+		buf = append(buf, Batch{Tweet: b.tweet, Users: b.users})
 	}
-	return out
+	return buf
 }
 
 // Drop discards the pending batch for tweet, if any. Callers use it when

@@ -1,7 +1,10 @@
 package simgraph
 
 import (
+	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/ids"
@@ -22,6 +25,11 @@ type RecommenderConfig struct {
 	Postpone bool
 	// PostponeMin/PostponeMax bound the adaptive time frame δ.
 	PostponeMin, PostponeMax ids.Timestamp
+	// DrainWorkers bounds the worker pool that propagates due postponed
+	// batches in parallel (distinct tweets have independent state, so a
+	// burst of expiring frames fans out across cores). <= 0 picks
+	// min(GOMAXPROCS, 8); 1 forces a serial drain.
+	DrainWorkers int
 	// MaxAge evicts per-tweet propagation state once the tweet exceeds
 	// this age — §3.1.2: scores need not be computed after 72 h.
 	MaxAge ids.Timestamp
@@ -42,27 +50,58 @@ func DefaultRecommenderConfig() RecommenderConfig {
 	}
 }
 
+// PropagationStats aggregates the streaming-propagation counters since
+// Init, the online-path counterpart of Engine.RefreshGraphStats.
+type PropagationStats struct {
+	// Propagations counts AddSeeds calls (drained batches plus immediate
+	// shares).
+	Propagations uint64
+	// Recomputations counts user-score recomputations across all
+	// propagations — the true unit of online work.
+	Recomputations uint64
+	// Rounds accumulates frontier depth (BFS levels) across propagations.
+	Rounds uint64
+	// DrainedBatches counts postponed batches flushed by the scheduler
+	// and propagated.
+	DrainedBatches uint64
+	// Drains counts drain invocations that flushed at least one batch.
+	Drains uint64
+	// DrainTime is the cumulative wall time of those drains (parallel
+	// drains count wall time, not summed worker time).
+	DrainTime time.Duration
+}
+
 // Recommender is the paper's system: similarity graph + propagation.
 // It implements recsys.Recommender.
 //
 // Concurrency: after Init, the recommender is safe for concurrent use.
 // Recommend calls from many goroutines proceed in parallel (the candidate
-// pool is lock-split per user); the streaming state below — incremental
-// propagator scratch, scheduler, per-tweet states — is guarded by mu, so
-// Observe and the postponed-batch drain inside Recommend serialize
-// against each other but never corrupt shared state. Init/InitWithGraph
-// must still happen-before any concurrent calls.
+// pool is lock-split per user). The streaming state is guarded in layers:
+// r.mu covers only the scheduler and the per-tweet bookkeeping maps
+// (scheduler pops, state lookup/creation, counts, eviction); the
+// propagation itself runs outside r.mu on per-worker Incremental scratch,
+// serialized per tweet by the TweetState lock. Due batches for distinct
+// tweets therefore propagate in parallel across a bounded worker pool
+// instead of serializing behind one mutex. Init/InitWithGraph must still
+// happen-before any concurrent calls.
 type Recommender struct {
 	cfg  RecommenderConfig
 	ds   *dataset.Dataset
 	sim  *wgraph.Graph
 	pool *recsys.Pool
 
-	// mu guards the streaming propagation state: inc (shared scratch),
-	// sched, states, counts, and the eviction queue.
+	// mu guards the scheduler and per-tweet bookkeeping: sched, states
+	// (the map, not the TweetState values), counts, and the eviction
+	// queue. It is NOT held while propagating.
 	mu    sync.Mutex
-	inc   *propagation.Incremental
 	sched *propagation.Scheduler
+	// dueBuf is the reusable scheduler-pop buffer; guarded by mu.
+	dueBuf []propagation.Batch
+
+	// incs pools per-worker incremental propagators (epoch-stamped dense
+	// scratch is expensive to allocate per drain).
+	incs         *sync.Pool
+	drainWorkers int
 
 	// Per-tweet propagation state with lifetime eviction.
 	states map[ids.TweetID]*propagation.TweetState
@@ -70,6 +109,14 @@ type Recommender struct {
 	// evictQueue holds tweets in first-seen order for cheap age eviction.
 	evictQueue []ids.TweetID
 	evictHead  int
+
+	// Streaming-propagation counters (atomic: bumped outside r.mu).
+	statPropagations atomic.Uint64
+	statRecomputes   atomic.Uint64
+	statRounds       atomic.Uint64
+	statBatches      atomic.Uint64
+	statDrains       atomic.Uint64
+	statDrainNanos   atomic.Int64
 }
 
 // NewRecommender returns an untrained SimGraph recommender.
@@ -103,7 +150,14 @@ func (r *Recommender) InitWithGraph(ctx *recsys.Context, g *wgraph.Graph) {
 }
 
 func (r *Recommender) attach(ctx *recsys.Context) {
-	r.inc = propagation.NewIncremental(r.sim, r.cfg.Prop)
+	r.incs = &sync.Pool{}
+	r.drainWorkers = r.cfg.DrainWorkers
+	if r.drainWorkers <= 0 {
+		r.drainWorkers = runtime.GOMAXPROCS(0)
+		if r.drainWorkers > 8 {
+			r.drainWorkers = 8
+		}
+	}
 	r.pool = recsys.NewPool(ctx.Tracked, func(t ids.TweetID) ids.Timestamp {
 		return r.ds.Tweets[t].Time
 	}, ctx.MaxAge)
@@ -115,6 +169,16 @@ func (r *Recommender) attach(ctx *recsys.Context) {
 		r.sched = propagation.NewScheduler(r.cfg.PostponeMin, r.cfg.PostponeMax, 12)
 	}
 }
+
+// getInc checks a per-worker incremental propagator out of the pool.
+func (r *Recommender) getInc() *propagation.Incremental {
+	if inc, ok := r.incs.Get().(*propagation.Incremental); ok {
+		return inc
+	}
+	return propagation.NewIncremental(r.sim, r.cfg.Prop)
+}
+
+func (r *Recommender) putInc(inc *propagation.Incremental) { r.incs.Put(inc) }
 
 // Observe feeds one retweet from the test stream. Propagation runs
 // incrementally from the new sharer, immediately or on the postponed
@@ -132,7 +196,6 @@ func (r *Recommender) Observe(a dataset.Action) {
 	}
 
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if _, seen := r.counts[a.Tweet]; !seen {
 		// First observation enters the tweet into the eviction queue —
 		// keyed on counts, not states, so postponed batches that never
@@ -143,34 +206,123 @@ func (r *Recommender) Observe(a dataset.Action) {
 	r.evictExpired(a.Time)
 
 	if r.sched == nil {
-		r.addSeeds(a.Tweet, []ids.UserID{a.User}, a.Time)
+		task, ok := r.resolveLocked(a.Tweet, []ids.UserID{a.User}, a.Time)
+		r.mu.Unlock()
+		if ok {
+			inc := r.getInc()
+			r.propagate(inc, task)
+			r.putInc(inc)
+		}
 		return
 	}
 	r.sched.Observe(a.Tweet, a.User, a.Time, r.counts[a.Tweet])
-	for _, b := range r.sched.Due(a.Time) {
-		r.addSeeds(b.Tweet, b.Users, a.Time)
-	}
+	tasks := r.popDueLocked(a.Time)
+	r.mu.Unlock()
+	r.runDrain(tasks)
 }
 
-// addSeeds propagates new sharers of one tweet and refreshes pooled
-// scores for the users whose probability changed. Callers hold r.mu.
-func (r *Recommender) addSeeds(t ids.TweetID, users []ids.UserID, now ids.Timestamp) {
+// drainTask is one resolved propagation unit: a tweet's state plus the
+// new sharers and the popularity snapshot that drives the threshold.
+type drainTask struct {
+	st         *propagation.TweetState
+	tweet      ids.TweetID
+	users      []ids.UserID
+	popularity int
+}
+
+// resolveLocked turns a flushed batch (or an immediate share) into a
+// propagation task, creating per-tweet state on first touch. Callers
+// hold r.mu; the returned task is propagated after releasing it.
+func (r *Recommender) resolveLocked(t ids.TweetID, users []ids.UserID, now ids.Timestamp) (drainTask, bool) {
 	st := r.states[t]
 	if st == nil {
 		if now-r.ds.Tweets[t].Time > r.cfg.MaxAge {
 			// Evicted (or never fresh) by the time the batch drained:
 			// never resurrect expired per-tweet state.
-			return
+			return drainTask{}, false
 		}
 		st = propagation.NewTweetState()
 		r.states[t] = st
 		// The author is an implicit sharer of their own post.
 		users = append([]ids.UserID{r.ds.Tweets[t].Author}, users...)
 	}
-	r.inc.AddSeeds(st, users, r.counts[t])
-	for _, u := range st.Changed {
-		r.pool.Bump(u, t, st.P[u])
+	return drainTask{st: st, tweet: t, users: users, popularity: r.counts[t]}, true
+}
+
+// popDueLocked pops every due batch and resolves it into tasks. Callers
+// hold r.mu.
+func (r *Recommender) popDueLocked(now ids.Timestamp) []drainTask {
+	r.dueBuf = r.sched.DueAppend(now, r.dueBuf[:0])
+	if len(r.dueBuf) == 0 {
+		return nil
 	}
+	tasks := make([]drainTask, 0, len(r.dueBuf))
+	for _, b := range r.dueBuf {
+		if task, ok := r.resolveLocked(b.Tweet, b.Users, now); ok {
+			tasks = append(tasks, task)
+		}
+	}
+	return tasks
+}
+
+// runDrain propagates the resolved tasks, fanning out across the bounded
+// worker pool when more than one tweet is due. Per-tweet state is
+// independent (each task locks its own TweetState) and pool bumps are
+// lock-split per user, so workers never share mutable state.
+func (r *Recommender) runDrain(tasks []drainTask) {
+	if len(tasks) == 0 {
+		return
+	}
+	start := time.Now()
+	workers := r.drainWorkers
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		inc := r.getInc()
+		for _, task := range tasks {
+			r.propagate(inc, task)
+		}
+		r.putInc(inc)
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				inc := r.getInc()
+				defer r.putInc(inc)
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(tasks) {
+						return
+					}
+					r.propagate(inc, tasks[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	r.statDrains.Add(1)
+	r.statBatches.Add(uint64(len(tasks)))
+	r.statDrainNanos.Add(time.Since(start).Nanoseconds())
+}
+
+// propagate runs one task under its tweet's state lock and refreshes
+// pooled scores for the users whose probability changed. Lock order is
+// TweetState -> pool slot; r.mu is never held here.
+func (r *Recommender) propagate(inc *propagation.Incremental, task drainTask) {
+	st := task.st
+	st.Lock()
+	inc.AddSeeds(st, task.users, task.popularity)
+	for _, u := range st.Changed {
+		r.pool.Bump(u, task.tweet, st.P[u])
+	}
+	st.Unlock()
+	r.statPropagations.Add(1)
+	r.statRecomputes.Add(uint64(inc.LastRecomputed()))
+	r.statRounds.Add(uint64(inc.LastRounds()))
 }
 
 // evictExpired drops propagation state of tweets past the freshness
@@ -200,16 +352,29 @@ func (r *Recommender) evictExpired(now ids.Timestamp) {
 
 // Recommend implements recsys.Recommender. Safe for concurrent callers:
 // with postponement off it touches only the lock-split pool; with
-// postponement on, the due-batch drain serializes on r.mu first.
+// postponement on, r.mu is taken only for the scheduler pop and the
+// flushed batches propagate on the worker pool before ranking.
 func (r *Recommender) Recommend(u ids.UserID, k int, now ids.Timestamp) []recsys.ScoredTweet {
 	if r.sched != nil {
 		r.mu.Lock()
-		for _, b := range r.sched.Due(now) {
-			r.addSeeds(b.Tweet, b.Users, now)
-		}
+		tasks := r.popDueLocked(now)
 		r.mu.Unlock()
+		r.runDrain(tasks)
 	}
 	return r.pool.TopK(u, k, now)
+}
+
+// Stats returns the cumulative streaming-propagation counters since
+// Init. Safe for concurrent use.
+func (r *Recommender) Stats() PropagationStats {
+	return PropagationStats{
+		Propagations:   r.statPropagations.Load(),
+		Recomputations: r.statRecomputes.Load(),
+		Rounds:         r.statRounds.Load(),
+		DrainedBatches: r.statBatches.Load(),
+		Drains:         r.statDrains.Load(),
+		DrainTime:      time.Duration(r.statDrainNanos.Load()),
+	}
 }
 
 var _ recsys.Recommender = (*Recommender)(nil)

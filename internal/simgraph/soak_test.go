@@ -14,7 +14,7 @@ import (
 // times within minutes of publication. The stream spans many freshness
 // horizons, so per-tweet state must be created and evicted thousands of
 // times.
-func soakWorld(t *testing.T, numTweets, perTweet int) (*dataset.Dataset, *recsys.Context) {
+func soakWorld(t testing.TB, numTweets, perTweet int) (*dataset.Dataset, *recsys.Context) {
 	t.Helper()
 	const numUsers = 64
 	gb := graph.NewBuilder(numUsers, numUsers*3)
@@ -50,7 +50,7 @@ func soakWorld(t *testing.T, numTweets, perTweet int) (*dataset.Dataset, *recsys
 
 // soakReplay streams every post-train action and returns the recommender
 // for state inspection.
-func soakReplay(t *testing.T, cfg RecommenderConfig, numTweets, perTweet int) (*Recommender, *dataset.Dataset) {
+func soakReplay(t testing.TB, cfg RecommenderConfig, numTweets, perTweet int) (*Recommender, *dataset.Dataset) {
 	t.Helper()
 	ds, ctx := soakWorld(t, numTweets, perTweet)
 	r := NewRecommender(cfg)
