@@ -3,16 +3,24 @@
 // through Observe while N reader goroutines hammer Recommend, and the
 // tool reports sustained read/write throughput and latency percentiles.
 //
+// With -debug ADDR the tool also serves the engine's observability
+// surface while the load runs: /debug/metrics (text, ?format=json for
+// JSON) and the standard /debug/pprof endpoints — the production-shaped
+// way to watch lock-hold, drain, and latency histograms live.
+//
 // Usage:
 //
 //	serveload [-users 5000] [-seed 1] [-load ds.bin] [-readers 8]
 //	          [-duration 10s] [-k 10] [-postpone] [-diverse]
+//	          [-debug 127.0.0.1:6060] [-refresh-every 0]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
@@ -22,6 +30,7 @@ import (
 	"repro"
 	"repro/internal/dataset"
 	"repro/internal/gen"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -37,6 +46,8 @@ func main() {
 		k        = flag.Int("k", 10, "recommendations per request")
 		postpone = flag.Bool("postpone", false, "enable the postponed-propagation scheduler")
 		diverse  = flag.Bool("diverse", false, "readers call RecommendDiverse instead of Recommend")
+		debug    = flag.String("debug", "", "serve /debug/metrics and /debug/pprof on this address (e.g. 127.0.0.1:6060)")
+		refresh  = flag.Duration("refresh-every", 0, "run RefreshGraph(UpdateWeights) on this wall-clock period (0 = never)")
 	)
 	flag.Parse()
 
@@ -65,6 +76,17 @@ func main() {
 	}
 	fmt.Printf("trained on %d users / %d train actions in %v (GOMAXPROCS=%d)\n",
 		ds.NumUsers(), len(train), time.Since(start).Round(time.Millisecond), runtime.GOMAXPROCS(0))
+
+	if *debug != "" {
+		srv := &http.Server{Addr: *debug, Handler: metrics.NewDebugMux(eng.Metrics)}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("debug server: %v", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("debug endpoint: http://%s/debug/metrics (and /debug/pprof)\n", *debug)
+	}
 
 	var assignment *repro.BubbleAssignment
 	if *diverse {
@@ -134,6 +156,30 @@ func main() {
 		}(r)
 	}
 
+	// Refresher: periodically rebuild the SimGraph under load, the way a
+	// production deployment would cycle UpdateWeights. Exercises the
+	// bounded replay/compaction path and its lock-hold histogram.
+	if *refresh > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := time.NewTicker(*refresh)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					st := eng.RefreshGraphStats(repro.UpdateWeights)
+					log.Printf("refresh: build=%v lock=%v replayed=%d compacted=%d",
+						st.BuildTime.Round(time.Millisecond),
+						st.LockHold.Round(time.Microsecond),
+						st.Replayed, st.Compacted)
+				}
+			}
+		}()
+	}
+
 	time.Sleep(*duration)
 	close(stop)
 	wg.Wait()
@@ -150,6 +196,11 @@ func main() {
 			idx := int(p * float64(len(samples)-1))
 			fmt.Printf("read p%.0f: %v\n", p*100, samples[idx].Round(time.Microsecond))
 		}
+	}
+
+	fmt.Println("\n--- engine metrics ---")
+	if err := eng.Metrics().WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 }
 

@@ -10,10 +10,12 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/ids"
+	"repro/internal/metrics"
 	"repro/internal/propagation"
 	"repro/internal/recsys"
 	"repro/internal/simgraph"
 	"repro/internal/similarity"
+	"repro/internal/wgraph"
 )
 
 // Recommendation is one ranked suggestion: a tweet and the predicted
@@ -113,12 +115,35 @@ type Engine struct {
 	rec   *simgraph.Recommender
 	ctx   *recsys.Context
 	// observed accumulates the streamed actions so RefreshGraph can
-	// rebuild profiles.
+	// rebuild pools; RefreshGraphStats compacts it to the suffix still
+	// within the freshness horizon (see the replay bound there).
 	observed []Action
+	// observedNewest is the largest action timestamp streamed so far; it
+	// anchors the replay horizon. Guarded by mu.
+	observedNewest Timestamp
 	// props pools per-worker Propagator scratch for PropagateScores; the
 	// dense buffers are expensive to allocate per call and each pooled
 	// propagator is rebound to the current graph on checkout.
 	props sync.Pool
+
+	// metrics is the engine-wide instrument registry: the engine/* series
+	// resolved below, the recommender's rec/* series (shared through
+	// RecommenderConfig.Metrics so counters survive refresh swaps), and
+	// the similarity store's similarity/* series. Exposed by Metrics()
+	// and MetricsRegistry().
+	metrics       *metrics.Registry
+	mRecommendLat *metrics.Histogram // engine/recommend/latency_ns
+	mObserveLat   *metrics.Histogram // engine/observe/latency_ns (== write-lock hold)
+	mRefreshBuild *metrics.Histogram // engine/refresh/build_ns (read-locked phase)
+	mRefreshLock  *metrics.Histogram // engine/refresh/lock_hold_ns (exclusive swap+replay)
+	mRecommends   *metrics.Counter   // engine/recommend/requests
+	mColdStarts   *metrics.Counter   // engine/recommend/cold_start_fallbacks
+	mObserves     *metrics.Counter   // engine/observe/actions
+	mRefreshes    *metrics.Counter   // engine/refresh/count
+	mReplayed     *metrics.Counter   // engine/refresh/replayed_actions
+	mCompacted    *metrics.Counter   // engine/refresh/compacted_actions
+	mInvalidSeeds *metrics.Counter   // engine/propagate/invalid_seeds
+	mObservedLen  *metrics.Gauge     // engine/observed_log/len
 }
 
 // NewEngine trains an engine on the dataset: builds profiles from the
@@ -146,7 +171,24 @@ func NewEngine(ds *Dataset, opts EngineOptions) (*Engine, error) {
 	}
 
 	e := &Engine{ds: ds, opts: opts}
+	e.metrics = metrics.NewRegistry()
+	e.mRecommendLat = e.metrics.Histogram("engine/recommend/latency_ns")
+	e.mObserveLat = e.metrics.Histogram("engine/observe/latency_ns")
+	e.mRefreshBuild = e.metrics.Histogram("engine/refresh/build_ns")
+	e.mRefreshLock = e.metrics.Histogram("engine/refresh/lock_hold_ns")
+	e.mRecommends = e.metrics.Counter("engine/recommend/requests")
+	e.mColdStarts = e.metrics.Counter("engine/recommend/cold_start_fallbacks")
+	e.mObserves = e.metrics.Counter("engine/observe/actions")
+	e.mRefreshes = e.metrics.Counter("engine/refresh/count")
+	e.mReplayed = e.metrics.Counter("engine/refresh/replayed_actions")
+	e.mCompacted = e.metrics.Counter("engine/refresh/compacted_actions")
+	e.mInvalidSeeds = e.metrics.Counter("engine/propagate/invalid_seeds")
+	e.mObservedLen = e.metrics.Gauge("engine/observed_log/len")
 	e.store = similarity.NewStore(ds.NumUsers(), ds.NumTweets(), train)
+	e.store.Instrument(
+		e.metrics.Counter("similarity/simbatch/batch_calls"),
+		e.metrics.Counter("similarity/simbatch/pairwise_fallbacks"),
+	)
 	if opts.TopicAlpha > 0 {
 		e.store.EnableTopics(func(t TweetID) int16 { return ds.Tweets[t].Topic }, opts.TopicAlpha)
 	}
@@ -178,6 +220,7 @@ func (e *Engine) recommenderConfig() simgraph.RecommenderConfig {
 	}
 	rcfg.Postpone = e.opts.Postpone
 	rcfg.DrainWorkers = e.opts.DrainWorkers
+	rcfg.Metrics = e.metrics
 	return rcfg
 }
 
@@ -190,9 +233,21 @@ func (e *Engine) Observe(u UserID, t TweetID, at Timestamp) error {
 		return err
 	}
 	a := Action{User: u, Tweet: t, Time: at}
+	start := time.Now()
+	// LIFO defers: the latency is observed after the unlock, so the
+	// histogram reads the full write-path hold (Observe holds the
+	// exclusive lock for its entire body).
+	defer func() {
+		e.mObserveLat.ObserveDuration(time.Since(start))
+		e.mObserves.Inc()
+	}()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.observed = append(e.observed, a)
+	if at > e.observedNewest {
+		e.observedNewest = at
+	}
+	e.mObservedLen.Set(int64(len(e.observed)))
 	e.store.Observe(u, t)
 	e.rec.Observe(a)
 	return nil
@@ -205,10 +260,16 @@ func (e *Engine) Recommend(u UserID, k int, now Timestamp) []Recommendation {
 	if int(u) >= e.ds.NumUsers() || k <= 0 {
 		return nil
 	}
+	start := time.Now()
+	defer func() {
+		e.mRecommendLat.ObserveDuration(time.Since(start))
+		e.mRecommends.Inc()
+	}()
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	scored := e.rec.Recommend(u, k, now)
 	if len(scored) == 0 && e.opts.ColdStartFallback {
+		e.mColdStarts.Inc()
 		return e.coldStartRecommend(u, k, now)
 	}
 	out := make([]Recommendation, len(scored))
@@ -264,7 +325,15 @@ func (e *Engine) coldStartRecommend(u UserID, k int, now Timestamp) []Recommenda
 // It exposes the raw §5 algorithm for analysis and tooling. Concurrent
 // callers each check a propagator out of a sync.Pool, so parallel calls
 // never share scratch buffers.
+//
+// Seeds outside the dataset's user range are dropped at this boundary
+// (counted by engine/propagate/invalid_seeds), mirroring validateIDs on
+// the Observe path: they cannot exist in the similarity graph, and
+// letting them through would also inflate the popularity fed to the
+// dynamic threshold. The propagation kernels additionally guard their
+// own entry points, so direct callers are safe too.
 func (e *Engine) PropagateScores(seeds []UserID) map[UserID]float64 {
+	seeds = e.validSeeds(seeds)
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	g := e.rec.Graph()
@@ -283,6 +352,30 @@ func (e *Engine) PropagateScores(seeds []UserID) map[UserID]float64 {
 	return out
 }
 
+// validSeeds filters out-of-range seed users, counting the drops.
+func (e *Engine) validSeeds(seeds []UserID) []UserID {
+	n := e.ds.NumUsers()
+	for i, s := range seeds {
+		if int(s) >= n {
+			// First invalid seed: switch to a filtered copy (the common
+			// all-valid case stays allocation-free).
+			valid := make([]UserID, i, len(seeds))
+			copy(valid, seeds[:i])
+			dropped := 1
+			for _, s := range seeds[i+1:] {
+				if int(s) < n {
+					valid = append(valid, s)
+				} else {
+					dropped++
+				}
+			}
+			e.mInvalidSeeds.Add(uint64(dropped))
+			return valid
+		}
+	}
+	return seeds
+}
+
 // GraphCharacteristics measures the current similarity graph (Table 4).
 func (e *Engine) GraphCharacteristics(pathSamples int) simgraph.Characteristics {
 	e.mu.RLock()
@@ -290,13 +383,33 @@ func (e *Engine) GraphCharacteristics(pathSamples int) simgraph.Characteristics 
 	e.mu.RUnlock()
 	// The graph is immutable once installed; measuring outside the lock
 	// keeps this long BFS-heavy read from delaying writers.
-	var srcs []UserID
-	for u := 0; u < g.NumNodes() && len(srcs) < pathSamples; u++ {
+	return simgraph.Measure(g, samplePathSources(g, pathSamples))
+}
+
+// samplePathSources picks the BFS sources for path sampling: a
+// deterministic stride sample over every eligible node (out-degree > 0),
+// so the sources span the whole ID range. The previous "first
+// pathSamples eligible IDs" rule biased the Table-4 path statistics
+// toward low IDs, which the generator correlates with account age and
+// degree; see EXPERIMENTS.md.
+func samplePathSources(g *wgraph.Graph, pathSamples int) []UserID {
+	if pathSamples <= 0 {
+		return nil
+	}
+	var eligible []UserID
+	for u := 0; u < g.NumNodes(); u++ {
 		if g.OutDegree(UserID(u)) > 0 {
-			srcs = append(srcs, UserID(u))
+			eligible = append(eligible, UserID(u))
 		}
 	}
-	return simgraph.Measure(g, srcs)
+	if len(eligible) <= pathSamples {
+		return eligible
+	}
+	srcs := make([]UserID, 0, pathSamples)
+	for i := 0; i < pathSamples; i++ {
+		srcs = append(srcs, eligible[i*len(eligible)/pathSamples])
+	}
+	return srcs
 }
 
 // Similarity returns sim(u, v) under the engine's current profiles.
@@ -315,10 +428,19 @@ type RefreshStats struct {
 	// BuildTime is the similarity-graph construction time (read-locked).
 	BuildTime time.Duration
 	// LockHold is how long the exclusive write lock was held for the swap
-	// and the replay of streamed actions.
+	// and the replay of streamed actions. The replay is bounded to the
+	// freshness horizon (see RefreshGraphStats), so LockHold scales with
+	// the live window, not the total stream length.
 	LockHold time.Duration
 	// Edges is the edge count of the installed graph.
 	Edges int
+	// Replayed is how many observed actions were replayed into the new
+	// recommender — the actions on tweets still inside the freshness
+	// horizon.
+	Replayed int
+	// Compacted is how many expired actions this refresh dropped from the
+	// observed log.
+	Compacted int
 }
 
 // RefreshGraph rebuilds or repairs the similarity graph with one of the
@@ -338,6 +460,19 @@ func (e *Engine) RefreshGraph(strategy UpdateStrategy) {
 }
 
 // RefreshGraphStats is RefreshGraph returning its cost split.
+//
+// The exclusive section replays only the actions whose tweet is still
+// inside the freshness horizon (published within MaxAge of the newest
+// observed action) and compacts the observed log to that suffix. Older
+// actions cannot influence the new recommender: their tweets can neither
+// create propagation state (Recommender.Observe stale-drops them and
+// resolveLocked refuses expired state) nor surface as pool candidates
+// (TopK evicts past the horizon), and since every retweet postdates its
+// tweet's publication, dropping by tweet age also keeps every
+// already-shared mark that could still matter. This bounds LockHold by
+// the live-window size instead of the total stream length — previously
+// the "brief swap" replayed the entire unbounded log under the write
+// lock and eventually stalled all readers.
 func (e *Engine) RefreshGraphStats(strategy UpdateStrategy) RefreshStats {
 	var st RefreshStats
 	start := time.Now()
@@ -351,26 +486,74 @@ func (e *Engine) RefreshGraphStats(strategy UpdateStrategy) RefreshStats {
 	locked := time.Now()
 	rec := simgraph.NewRecommender(e.recommenderConfig())
 	rec.InitWithGraph(e.ctx, g)
-	// Re-observe the streamed actions so seeds/pools carry over — this
-	// also covers anything that arrived while the graph was building.
-	for _, a := range e.observed {
+	// Compact, then replay the live suffix so seeds/pools carry over —
+	// including anything that arrived while the graph was building.
+	live, dropped := e.compactObservedLocked()
+	for _, a := range live {
 		rec.Observe(a)
 	}
 	e.rec = rec
+	st.Replayed = len(live)
+	st.Compacted = dropped
 	st.LockHold = time.Since(locked)
 	e.mu.Unlock()
+
+	e.mRefreshes.Inc()
+	e.mRefreshBuild.ObserveDuration(st.BuildTime)
+	e.mRefreshLock.ObserveDuration(st.LockHold)
+	e.mReplayed.Add(uint64(st.Replayed))
+	e.mCompacted.Add(uint64(st.Compacted))
 	return st
 }
 
-// PropagationStats returns the cumulative streaming-propagation counters
-// of the current recommender (reset by RefreshGraph, which installs a
-// fresh one): propagations run, user scores recomputed, frontier rounds,
-// and the postponed-drain batch counts and wall time.
+// compactObservedLocked drops every observed action whose tweet has aged
+// out of the freshness horizon relative to the newest observed action,
+// keeps the rest in order, installs the compacted log as e.observed, and
+// returns it with the dropped count. Callers hold e.mu exclusively.
+func (e *Engine) compactObservedLocked() ([]Action, int) {
+	cutoff := e.observedNewest - e.opts.MaxAge
+	kept := e.observed[:0]
+	for _, a := range e.observed {
+		if e.ds.Tweets[a.Tweet].Time >= cutoff {
+			kept = append(kept, a)
+		}
+	}
+	dropped := len(e.observed) - len(kept)
+	if dropped > 0 && cap(kept) > 2*len(kept) {
+		// Most of the log expired: release the oversized backing array
+		// rather than pinning it until the next growth.
+		kept = append(make([]Action, 0, len(kept)), kept...)
+	}
+	e.observed = kept
+	e.mObservedLen.Set(int64(len(kept)))
+	return kept, dropped
+}
+
+// PropagationStats returns the cumulative streaming-propagation
+// counters: propagations run, user scores recomputed, frontier rounds,
+// and the postponed-drain batch counts and wall time. The counters live
+// in the engine's metrics registry, so — unlike before the metrics layer
+// — they accumulate across RefreshGraph swaps instead of resetting with
+// each fresh recommender.
 func (e *Engine) PropagationStats() simgraph.PropagationStats {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.rec.Stats()
 }
+
+// Metrics snapshots the engine-wide instrument registry: the engine/*
+// serving-path series (Recommend/Observe latency, refresh build and
+// lock-hold, cold-start fallbacks, observed-log length), the
+// recommender's rec/* streaming series (propagations, drains, per-tweet
+// states, scheduler depth), and the similarity/* kernel counters.
+// Instrument paths are stable; see DESIGN.md §10 for the full inventory.
+// Safe for any number of concurrent callers.
+func (e *Engine) Metrics() metrics.Snapshot { return e.metrics.Snapshot() }
+
+// MetricsRegistry exposes the live registry, for callers that wire the
+// debug HTTP surface (metrics.NewDebugMux) or resolve instruments to
+// watch individual series without snapshotting everything.
+func (e *Engine) MetricsRegistry() *metrics.Registry { return e.metrics }
 
 // ObservedActions returns a copy of the actions streamed in so far.
 func (e *Engine) ObservedActions() []Action {

@@ -1,0 +1,44 @@
+package metrics
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves snapshots over HTTP: text by default, JSON with
+// ?format=json (or an application/json Accept header). src is called per
+// request, so the handler always serves fresh values; it is typically
+// Engine.Metrics or Registry.Snapshot.
+func Handler(src func() Snapshot) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		s := src()
+		if req.URL.Query().Get("format") == "json" ||
+			req.Header.Get("Accept") == "application/json" {
+			b, err := s.MarshalJSONIndent()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(b)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.WriteText(w)
+	})
+}
+
+// NewDebugMux returns an http.ServeMux with the repo's debug surface:
+// /debug/metrics (this package's Handler) plus the standard pprof
+// endpoints under /debug/pprof/. Callers mount it on an opt-in listener;
+// nothing registers on http.DefaultServeMux.
+func NewDebugMux(src func() Snapshot) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/metrics", Handler(src))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,57 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func testSnapshot() Snapshot {
+	r := NewRegistry()
+	r.Counter("engine/requests").Add(5)
+	r.Histogram("engine/recommend/latency_ns").Observe(1500)
+	return r.Snapshot()
+}
+
+func TestHandlerText(t *testing.T) {
+	h := Handler(testSnapshot)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "engine/requests") {
+		t.Fatalf("text body missing counter:\n%s", rec.Body.String())
+	}
+}
+
+func TestHandlerJSON(t *testing.T) {
+	h := Handler(testSnapshot)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/metrics?format=json", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counter("engine/requests") != 5 {
+		t.Fatalf("JSON body lost counter: %+v", s)
+	}
+}
+
+func TestDebugMux(t *testing.T) {
+	mux := NewDebugMux(testSnapshot)
+	for _, path := range []string{"/debug/metrics", "/debug/pprof/"} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 {
+			t.Errorf("%s: status %d", path, rec.Code)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Snapshot is a point-in-time copy of a Registry: every instrument value
+// keyed by its slash-separated path. It marshals directly to JSON and
+// renders as an indented text tree with WriteText.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Counter returns the named counter's value (0 when absent).
+func (s Snapshot) Counter(name string) uint64 { return s.Counters[name] }
+
+// Gauge returns the named gauge's value (0 when absent).
+func (s Snapshot) Gauge(name string) int64 { return s.Gauges[name] }
+
+// Histogram returns the named histogram's snapshot (zero when absent).
+func (s Snapshot) Histogram(name string) HistogramSnapshot { return s.Histograms[name] }
+
+// MarshalJSONIndent renders the snapshot as indented JSON.
+func (s Snapshot) MarshalJSONIndent() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// durationName reports whether an instrument path records nanoseconds by
+// convention (a "_ns" suffix), in which case text rendering formats the
+// values as durations.
+func durationName(name string) bool { return strings.HasSuffix(name, "_ns") }
+
+// WriteText renders the snapshot as a two-level text tree: instruments
+// grouped by their first path segment, sorted, one line per instrument.
+// Histogram lines carry count, mean, p50/p99, and max; nanosecond
+// instruments (by the "_ns" naming convention) render as durations.
+func (s Snapshot) WriteText(w io.Writer) error {
+	type line struct{ name, text string }
+	var lines []line
+	for name, v := range s.Counters {
+		lines = append(lines, line{name, fmt.Sprintf("%-42s %d", name, v)})
+	}
+	for name, v := range s.Gauges {
+		lines = append(lines, line{name, fmt.Sprintf("%-42s %d", name, v)})
+	}
+	for name, h := range s.Histograms {
+		var val string
+		if durationName(name) {
+			val = fmt.Sprintf("count=%d mean=%v p50=%v p99=%v max=%v",
+				h.Count, time.Duration(h.Mean()).Round(time.Microsecond),
+				time.Duration(h.Quantile(0.50)), time.Duration(h.Quantile(0.99)),
+				time.Duration(h.Max))
+		} else {
+			val = fmt.Sprintf("count=%d mean=%.1f p50=%d p99=%d max=%d",
+				h.Count, h.Mean(), h.Quantile(0.50), h.Quantile(0.99), h.Max)
+		}
+		lines = append(lines, line{name, fmt.Sprintf("%-42s %s", name, val)})
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i].name < lines[j].name })
+
+	prevGroup := ""
+	for _, l := range lines {
+		group := l.name
+		if i := strings.IndexByte(group, '/'); i >= 0 {
+			group = group[:i]
+		}
+		if group != prevGroup {
+			if prevGroup != "" {
+				if _, err := fmt.Fprintln(w); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# %s\n", group); err != nil {
+				return err
+			}
+			prevGroup = group
+		}
+		if _, err := fmt.Fprintf(w, "%s\n", l.text); err != nil {
+			return err
+		}
+	}
+	return nil
+}

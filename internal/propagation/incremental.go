@@ -68,8 +68,9 @@ type Incremental struct {
 	queue   []ids.UserID
 
 	// Stats of the last AddSeeds call.
-	lastRecomputed int
-	lastRounds     int
+	lastRecomputed  int
+	lastRounds      int
+	lastMaxFrontier int
 }
 
 // NewIncremental returns an incremental propagator over g.
@@ -131,12 +132,16 @@ func (inc *Incremental) AddSeeds(st *TweetState, seeds []ids.UserID, popularity 
 	budget := inc.cfg.MaxIterations * 4096
 	recomputed, rounds := 0, 0
 	roundEnd := len(inc.queue)
+	maxFrontier := roundEnd
 	if roundEnd > 0 {
 		rounds = 1
 	}
 	for head := 0; head < len(inc.queue) && budget > 0; head++ {
 		if head == roundEnd {
 			rounds++
+			if width := len(inc.queue) - roundEnd; width > maxFrontier {
+				maxFrontier = width
+			}
 			roundEnd = len(inc.queue)
 		}
 		u := inc.queue[head]
@@ -163,6 +168,7 @@ func (inc *Incremental) AddSeeds(st *TweetState, seeds []ids.UserID, popularity 
 	}
 	inc.lastRecomputed = recomputed
 	inc.lastRounds = rounds
+	inc.lastMaxFrontier = maxFrontier
 
 	// Gather: fold the final dense scores of changed users back into the
 	// sparse state — one map write per changed user, not per recompute.
@@ -178,6 +184,11 @@ func (inc *Incremental) LastRecomputed() int { return inc.lastRecomputed }
 // LastRounds reports the frontier depth (BFS levels entered) of the most
 // recent AddSeeds.
 func (inc *Incremental) LastRounds() int { return inc.lastRounds }
+
+// LastMaxFrontier reports the widest frontier round (queued users at one
+// BFS level) of the most recent AddSeeds — the burst-width signal the
+// serving metrics export per propagation.
+func (inc *Incremental) LastMaxFrontier() int { return inc.lastMaxFrontier }
 
 // recompute evaluates Definition 4.2 for u against the dense scratch.
 func (inc *Incremental) recompute(u ids.UserID) float64 {

@@ -121,8 +121,9 @@ type Propagator struct {
 	spare   []ids.UserID
 	touched []ids.UserID
 	// Stats of the last run.
-	lastIters   int
-	lastTouched int
+	lastIters       int
+	lastTouched     int
+	lastMaxFrontier int
 }
 
 // New returns a propagator over the given similarity graph view.
@@ -200,11 +201,15 @@ func (pr *Propagator) Propagate(seeds []ids.UserID, popularity int) Result {
 
 	iters := 0
 	touched := 0
+	maxFrontier := 0
 	// Process in rounds so the iteration count is comparable with the
 	// dense algorithm's.
 	for len(pr.queue) > 0 && iters < pr.cfg.MaxIterations {
 		iters++
 		round := pr.queue
+		if len(round) > maxFrontier {
+			maxFrontier = len(round)
+		}
 		pr.queue = pr.spare[:0]
 		for _, u := range round {
 			pr.inQ.del(u)
@@ -225,6 +230,7 @@ func (pr *Propagator) Propagate(seeds []ids.UserID, popularity int) Result {
 	}
 	pr.lastIters = iters
 	pr.lastTouched = touched
+	pr.lastMaxFrontier = maxFrontier
 
 	// O(touched) result collection. Sorting keeps the ascending-user
 	// order the previous O(|V|) sweep produced, so results stay
@@ -282,6 +288,10 @@ func (pr *Propagator) LastIterations() int { return pr.lastIters }
 // LastTouched reports how many user recomputations the most recent
 // Propagate performed.
 func (pr *Propagator) LastTouched() int { return pr.lastTouched }
+
+// LastMaxFrontier reports the widest frontier round of the most recent
+// Propagate.
+func (pr *Propagator) LastMaxFrontier() int { return pr.lastMaxFrontier }
 
 // DensePropagate runs the literal Algorithm 1 (full sweeps over V \ D
 // until no probability changes by more than tol). It exists as the

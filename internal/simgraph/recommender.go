@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/ids"
+	"repro/internal/metrics"
 	"repro/internal/propagation"
 	"repro/internal/recsys"
 	"repro/internal/wgraph"
@@ -33,6 +34,12 @@ type RecommenderConfig struct {
 	// MaxAge evicts per-tweet propagation state once the tweet exceeds
 	// this age — §3.1.2: scores need not be computed after 72 h.
 	MaxAge ids.Timestamp
+	// Metrics is the instrument registry the recommender reports into
+	// (see the rec/* names resolved in attach). Nil gives the recommender
+	// a private registry, so Stats() works for standalone use; the Engine
+	// passes its own registry, which also makes the counters survive the
+	// recommender swap a RefreshGraph performs.
+	Metrics *metrics.Registry
 }
 
 // DefaultRecommenderConfig returns the experiment configuration:
@@ -50,8 +57,12 @@ func DefaultRecommenderConfig() RecommenderConfig {
 	}
 }
 
-// PropagationStats aggregates the streaming-propagation counters since
-// Init, the online-path counterpart of Engine.RefreshGraphStats.
+// PropagationStats aggregates the streaming-propagation counters, the
+// online-path counterpart of Engine.RefreshGraphStats. It is a
+// compatibility view over the rec/* instruments in the recommender's
+// metrics registry — counters start at Init with a private registry, or
+// accumulate across recommender swaps when RecommenderConfig.Metrics is
+// shared (as the Engine does).
 type PropagationStats struct {
 	// Propagations counts AddSeeds calls (drained batches plus immediate
 	// shares).
@@ -110,13 +121,20 @@ type Recommender struct {
 	evictQueue []ids.TweetID
 	evictHead  int
 
-	// Streaming-propagation counters (atomic: bumped outside r.mu).
-	statPropagations atomic.Uint64
-	statRecomputes   atomic.Uint64
-	statRounds       atomic.Uint64
-	statBatches      atomic.Uint64
-	statDrains       atomic.Uint64
-	statDrainNanos   atomic.Int64
+	// Instruments, resolved from the config registry in attach. All are
+	// lock-free; the propagation-path ones are bumped outside r.mu, the
+	// gauge updates happen under it (where the guarded value changes).
+	mPropagations *metrics.Counter   // AddSeeds calls (immediate + drained)
+	mRecomputes   *metrics.Counter   // user-score recomputations
+	mRounds       *metrics.Counter   // cumulative frontier depth
+	mFrontier     *metrics.Histogram // widest frontier round per propagation
+	mDrains       *metrics.Counter   // drains that flushed ≥ 1 batch
+	mBatches      *metrics.Counter   // postponed batches propagated
+	mDrainWall    *metrics.Histogram // wall ns per drain
+	mBatchSize    *metrics.Histogram // batches per drain
+	mEvictions    *metrics.Counter   // per-tweet states aged out
+	mStates       *metrics.Gauge     // live per-tweet propagation states
+	mPending      *metrics.Gauge     // scheduler pending-batch depth
 }
 
 // NewRecommender returns an untrained SimGraph recommender.
@@ -150,6 +168,24 @@ func (r *Recommender) InitWithGraph(ctx *recsys.Context, g *wgraph.Graph) {
 }
 
 func (r *Recommender) attach(ctx *recsys.Context) {
+	reg := r.cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	r.mPropagations = reg.Counter("rec/propagations")
+	r.mRecomputes = reg.Counter("rec/recomputations")
+	r.mRounds = reg.Counter("rec/rounds")
+	r.mFrontier = reg.Histogram("rec/frontier_width")
+	r.mDrains = reg.Counter("rec/drains")
+	r.mBatches = reg.Counter("rec/drain/batches")
+	r.mDrainWall = reg.Histogram("rec/drain/wall_ns")
+	r.mBatchSize = reg.Histogram("rec/drain/batch_size")
+	r.mEvictions = reg.Counter("rec/evictions")
+	r.mStates = reg.Gauge("rec/states")
+	r.mPending = reg.Gauge("rec/sched/pending")
+	r.mStates.Set(0)
+	r.mPending.Set(0)
+
 	r.incs = &sync.Pool{}
 	r.drainWorkers = r.cfg.DrainWorkers
 	if r.drainWorkers <= 0 {
@@ -217,6 +253,7 @@ func (r *Recommender) Observe(a dataset.Action) {
 	}
 	r.sched.Observe(a.Tweet, a.User, a.Time, r.counts[a.Tweet])
 	tasks := r.popDueLocked(a.Time)
+	r.mPending.Set(int64(r.sched.Pending()))
 	r.mu.Unlock()
 	r.runDrain(tasks)
 }
@@ -243,8 +280,21 @@ func (r *Recommender) resolveLocked(t ids.TweetID, users []ids.UserID, now ids.T
 		}
 		st = propagation.NewTweetState()
 		r.states[t] = st
-		// The author is an implicit sharer of their own post.
-		users = append([]ids.UserID{r.ds.Tweets[t].Author}, users...)
+		r.mStates.Set(int64(len(r.states)))
+		// The author is an implicit sharer of their own post — unless
+		// already among the sharers (an author retweeting their own
+		// thread), which would seed the first propagation twice.
+		author := r.ds.Tweets[t].Author
+		implicit := true
+		for _, u := range users {
+			if u == author {
+				implicit = false
+				break
+			}
+		}
+		if implicit {
+			users = append([]ids.UserID{author}, users...)
+		}
 	}
 	return drainTask{st: st, tweet: t, users: users, popularity: r.counts[t]}, true
 }
@@ -278,6 +328,7 @@ func (r *Recommender) runDrain(tasks []drainTask) {
 	if workers > len(tasks) {
 		workers = len(tasks)
 	}
+	r.mBatchSize.Observe(int64(len(tasks)))
 	if workers <= 1 {
 		inc := r.getInc()
 		for _, task := range tasks {
@@ -304,9 +355,9 @@ func (r *Recommender) runDrain(tasks []drainTask) {
 		}
 		wg.Wait()
 	}
-	r.statDrains.Add(1)
-	r.statBatches.Add(uint64(len(tasks)))
-	r.statDrainNanos.Add(time.Since(start).Nanoseconds())
+	r.mDrains.Inc()
+	r.mBatches.Add(uint64(len(tasks)))
+	r.mDrainWall.ObserveDuration(time.Since(start))
 }
 
 // propagate runs one task under its tweet's state lock and refreshes
@@ -320,9 +371,10 @@ func (r *Recommender) propagate(inc *propagation.Incremental, task drainTask) {
 		r.pool.Bump(u, task.tweet, st.P[u])
 	}
 	st.Unlock()
-	r.statPropagations.Add(1)
-	r.statRecomputes.Add(uint64(inc.LastRecomputed()))
-	r.statRounds.Add(uint64(inc.LastRounds()))
+	r.mPropagations.Inc()
+	r.mRecomputes.Add(uint64(inc.LastRecomputed()))
+	r.mRounds.Add(uint64(inc.LastRounds()))
+	r.mFrontier.Observe(int64(inc.LastMaxFrontier()))
 }
 
 // evictExpired drops propagation state of tweets past the freshness
@@ -331,6 +383,7 @@ func (r *Recommender) propagate(inc *propagation.Incremental, task drainTask) {
 // are dropped in Observe, preserving the ordering invariant). Callers
 // hold r.mu.
 func (r *Recommender) evictExpired(now ids.Timestamp) {
+	evicted := 0
 	for r.evictHead < len(r.evictQueue) {
 		t := r.evictQueue[r.evictHead]
 		if now-r.ds.Tweets[t].Time <= r.cfg.MaxAge {
@@ -342,6 +395,14 @@ func (r *Recommender) evictExpired(now ids.Timestamp) {
 			r.sched.Drop(t)
 		}
 		r.evictHead++
+		evicted++
+	}
+	if evicted > 0 {
+		r.mEvictions.Add(uint64(evicted))
+		r.mStates.Set(int64(len(r.states)))
+		if r.sched != nil {
+			r.mPending.Set(int64(r.sched.Pending()))
+		}
 	}
 	// Compact occasionally so the queue does not grow without bound.
 	if r.evictHead > 4096 && r.evictHead*2 > len(r.evictQueue) {
@@ -358,22 +419,23 @@ func (r *Recommender) Recommend(u ids.UserID, k int, now ids.Timestamp) []recsys
 	if r.sched != nil {
 		r.mu.Lock()
 		tasks := r.popDueLocked(now)
+		r.mPending.Set(int64(r.sched.Pending()))
 		r.mu.Unlock()
 		r.runDrain(tasks)
 	}
 	return r.pool.TopK(u, k, now)
 }
 
-// Stats returns the cumulative streaming-propagation counters since
-// Init. Safe for concurrent use.
+// Stats returns the cumulative streaming-propagation counters (see
+// PropagationStats for the accumulation scope). Safe for concurrent use.
 func (r *Recommender) Stats() PropagationStats {
 	return PropagationStats{
-		Propagations:   r.statPropagations.Load(),
-		Recomputations: r.statRecomputes.Load(),
-		Rounds:         r.statRounds.Load(),
-		DrainedBatches: r.statBatches.Load(),
-		Drains:         r.statDrains.Load(),
-		DrainTime:      time.Duration(r.statDrainNanos.Load()),
+		Propagations:   r.mPropagations.Value(),
+		Recomputations: r.mRecomputes.Value(),
+		Rounds:         r.mRounds.Value(),
+		DrainedBatches: r.mBatches.Value(),
+		Drains:         r.mDrains.Value(),
+		DrainTime:      time.Duration(r.mDrainWall.Sum()),
 	}
 }
 

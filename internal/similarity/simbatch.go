@@ -96,11 +96,13 @@ func (s *Store) SimBatch(u ids.UserID, candidates []ids.UserID, sc *BatchScratch
 		pairwiseCost += len(s.profiles[w])
 	}
 	if scatterCost > pairwiseCost {
+		s.mFallback.Inc()
 		for i, w := range candidates {
 			out[i] = s.Sim(u, w)
 		}
 		return out
 	}
+	s.mBatch.Inc()
 
 	sc.begin(len(s.profiles), len(candidates))
 	dupes := false

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/ids"
+	"repro/internal/metrics"
 )
 
 // Store holds retweet profiles and tweet popularity for similarity
@@ -37,10 +38,26 @@ type Store struct {
 	weights  []float32       // per tweet, min(1, 1/ln(1+m)) — cached
 	postings [][]ids.UserID  // per tweet, sorted distinct retweeters (transpose of profiles)
 
+	// Kernel-path counters (see Instrument): how often SimBatch ran its
+	// scatter pass versus falling back to pairwise merges. Nil (no-op)
+	// until instrumented; atomic, so concurrent SimBatch readers may bump
+	// them freely.
+	mBatch    *metrics.Counter
+	mFallback *metrics.Counter
+
 	// Topic blending (§7 future work); see EnableTopics in topic.go.
 	topicOf    func(ids.TweetID) int16
 	topicAlpha float64
 	topicVecs  [][]topicCount
+}
+
+// Instrument wires the store's kernel-path counters: batch counts
+// SimBatch calls that took the inverted-index scatter pass, fallback
+// counts calls the cost guard routed to pairwise merges. Either may be
+// nil. Call before concurrent use, alongside the rest of construction.
+func (s *Store) Instrument(batch, fallback *metrics.Counter) {
+	s.mBatch = batch
+	s.mFallback = fallback
 }
 
 // NewStore builds a store from a training action log.
