@@ -8,11 +8,20 @@
 // JSON) and the standard /debug/pprof endpoints — the production-shaped
 // way to watch lock-hold, drain, and latency histograms live.
 //
+// With -wal-dir DIR the engine runs durably: every Observe is
+// write-ahead logged (fsync policy per -wal-sync), -checkpoint-every
+// snapshots in the background, and a restart with the same directory
+// recovers the stream — kill -9 mid-run and `simgraphctl -recover DIR`
+// gets everything back. A fresh directory is seeded with a bootstrap
+// checkpoint before load starts, so the directory is recoverable from
+// the first streamed action on.
+//
 // Usage:
 //
 //	serveload [-users 5000] [-seed 1] [-load ds.bin] [-readers 8]
 //	          [-duration 10s] [-k 10] [-postpone] [-diverse]
 //	          [-debug 127.0.0.1:6060] [-refresh-every 0]
+//	          [-wal-dir DIR] [-wal-sync interval] [-checkpoint-every 0]
 package main
 
 import (
@@ -48,6 +57,9 @@ func main() {
 		diverse  = flag.Bool("diverse", false, "readers call RecommendDiverse instead of Recommend")
 		debug    = flag.String("debug", "", "serve /debug/metrics and /debug/pprof on this address (e.g. 127.0.0.1:6060)")
 		refresh  = flag.Duration("refresh-every", 0, "run RefreshGraph(UpdateWeights) on this wall-clock period (0 = never)")
+		walDir   = flag.String("wal-dir", "", "durability directory: WAL every Observe and recover from it on start")
+		walSync  = flag.String("wal-sync", "interval", "WAL fsync policy: always, interval, or none")
+		ckEvery  = flag.Duration("checkpoint-every", 0, "background checkpoint period into -wal-dir (0 = never)")
 	)
 	flag.Parse()
 
@@ -70,8 +82,39 @@ func main() {
 	opts.Train = train
 	opts.Postpone = *postpone
 	start := time.Now()
-	eng, err := repro.NewEngine(ds, opts)
-	if err != nil {
+	var eng *repro.Engine
+	if *walDir != "" {
+		policy, err := repro.ParseWALSyncPolicy(*walSync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var rs repro.RecoveryStats
+		eng, rs, err = repro.OpenEngine(*walDir, repro.OpenOptions{
+			Engine:          opts,
+			Dataset:         ds,
+			WALSync:         policy,
+			CheckpointEvery: *ckEvery,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer eng.Close()
+		if rs.Recovered {
+			fmt.Printf("recovered %s: checkpoint seq %d (%d actions) + WAL tail %d records (torn=%v) in %v\n",
+				*walDir, rs.CheckpointSeq, rs.CheckpointActions, rs.WALRecords, rs.WALTorn,
+				rs.Duration.Round(time.Millisecond))
+		} else {
+			// Fresh directory: seed a bootstrap checkpoint synchronously so
+			// a kill at any later moment recovers without this process's
+			// generated dataset.
+			st, err := eng.Checkpoint(*walDir)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("durability: fresh %s, bootstrap checkpoint seq %d (%d bytes, sync=%s)\n",
+				*walDir, st.Seq, st.Bytes, policy)
+		}
+	} else if eng, err = repro.NewEngine(ds, opts); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("trained on %d users / %d train actions in %v (GOMAXPROCS=%d)\n",

@@ -2,10 +2,17 @@
 // reports its structure (Table 4, Figure 5), or runs a single propagation
 // to show the §5 algorithm at work.
 //
+// It is also the durability operator tool: -checkpoint snapshots a
+// freshly trained engine into a directory, and -recover opens a
+// durability directory (e.g. serveload's -wal-dir after a crash),
+// replays checkpoint + WAL tail, and reports what came back — exiting
+// non-zero when nothing is recoverable.
+//
 // Usage:
 //
 //	simgraphctl [-users 5000] [-seed 1] [-load ds.bin] [-tau 0.02]
 //	            [-table4] [-fig5] [-propagate tweetID]
+//	            [-checkpoint DIR] [-recover DIR]
 package main
 
 import (
@@ -13,7 +20,9 @@ import (
 	"fmt"
 	"log"
 	"sort"
+	"time"
 
+	"repro"
 	"repro/internal/dataset"
 	"repro/internal/eval"
 	"repro/internal/experiments"
@@ -37,9 +46,16 @@ func main() {
 		table4    = flag.Bool("table4", false, "print Table 4")
 		fig5      = flag.Bool("fig5", false, "print Figure 5")
 		propTweet = flag.Int("propagate", -1, "propagate the sharers of this tweet and print the top scores")
+		ckptDir   = flag.String("checkpoint", "", "train an engine and write a checkpoint into this directory")
+		recDir    = flag.String("recover", "", "recover an engine from this durability directory and report what came back")
 	)
 	flag.Parse()
-	all := !(*table4 || *fig5 || *propTweet >= 0)
+	all := !(*table4 || *fig5 || *propTweet >= 0 || *ckptDir != "" || *recDir != "")
+
+	if *recDir != "" {
+		runRecover(*recDir)
+		return
+	}
 
 	var ds *dataset.Dataset
 	var err error
@@ -50,6 +66,11 @@ func main() {
 	}
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *ckptDir != "" {
+		runCheckpoint(ds, *ckptDir, *tau)
+		return
 	}
 
 	opts := eval.DefaultOptions()
@@ -74,6 +95,55 @@ func main() {
 	if *propTweet >= 0 {
 		runPropagation(ds, ids.TweetID(*propTweet), *tau)
 	}
+}
+
+// runCheckpoint trains an engine on the dataset and snapshots it — the
+// operator's way to seed a durability directory from a dataset file.
+func runCheckpoint(ds *dataset.Dataset, dir string, tau float64) {
+	opts := repro.DefaultEngineOptions()
+	opts.Tau = tau
+	start := time.Now()
+	eng, err := repro.NewEngine(ds, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trained := time.Since(start)
+	st, err := eng.Checkpoint(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpoint seq %d: %d bytes, %d live actions, WAL HWM %d (train %v, capture %v, write %v)\n",
+		st.Seq, st.Bytes, st.Actions, st.WALHWM, trained.Round(time.Millisecond),
+		st.CaptureHold.Round(time.Microsecond), st.Duration.Round(time.Millisecond))
+}
+
+// runRecover opens a durability directory, replays checkpoint + WAL
+// tail, and reports the recovered engine. Exits non-zero (log.Fatal)
+// when the directory holds nothing recoverable — the crash-recovery CI
+// job leans on that exit code.
+func runRecover(dir string) {
+	// Replay under the paper's default engine options (EngineOptions'
+	// zero value is documented invalid: β=0 would flood every replayed
+	// propagation across the whole graph).
+	eng, rs, err := repro.OpenEngine(dir, repro.OpenOptions{Engine: repro.DefaultEngineOptions()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+	if !rs.Recovered {
+		log.Fatalf("%s holds no recoverable state", dir)
+	}
+	ds := eng.Dataset()
+	fmt.Printf("recovered from %s in %v\n", dir, rs.Duration.Round(time.Millisecond))
+	fmt.Printf("  checkpoint : seq %d, %d live actions replayed (%d damaged manifests skipped)\n",
+		rs.CheckpointSeq, rs.CheckpointActions, rs.ManifestsSkipped)
+	fmt.Printf("  WAL tail   : %d records replayed, torn=%v (%d bytes dropped)\n",
+		rs.WALRecords, rs.WALTorn, rs.WALTornBytes)
+	if rs.InvalidActions > 0 {
+		fmt.Printf("  WARNING    : %d recovered actions were invalid and skipped\n", rs.InvalidActions)
+	}
+	fmt.Printf("  engine     : %d users, %d tweets, %d observed actions live\n",
+		ds.NumUsers(), ds.NumTweets(), len(eng.ObservedActions()))
 }
 
 // runPropagation builds the graph, seeds the propagation with the tweet's

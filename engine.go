@@ -9,6 +9,7 @@ import (
 	"repro/internal/bubbles"
 
 	"repro/internal/dataset"
+	"repro/internal/durable"
 	"repro/internal/ids"
 	"repro/internal/metrics"
 	"repro/internal/propagation"
@@ -73,6 +74,11 @@ type EngineOptions struct {
 	// aggregating their followees' recommendations — the GraphJet-style
 	// neighbourhood workaround the paper sketches in §4.1.
 	ColdStartFallback bool
+	// WAL, when non-nil, receives every action Observe accepts — before
+	// the engine state mutates, inside the exclusive lock, so the log
+	// order equals the apply order (WAL-before-apply). OpenEngine installs
+	// the durable WAL here; leave nil for a purely in-memory engine.
+	WAL ActionLog
 }
 
 // DefaultEngineOptions returns the configuration used in the paper's
@@ -126,6 +132,24 @@ type Engine struct {
 	// propagator is rebound to the current graph on checkout.
 	props sync.Pool
 
+	// wal is the durability hook from EngineOptions.WAL: Observe appends
+	// each accepted action before applying it (under the exclusive lock,
+	// so log order equals apply order). Nil for in-memory engines.
+	wal ActionLog
+	// Durability plumbing installed by OpenEngine: the owned WAL (closed
+	// by Close — distinct from wal, which may be caller-supplied), the
+	// checkpoint directory and retention for the background checkpointer,
+	// and its lifecycle channels. ckptMu serializes Checkpoint calls so a
+	// manual checkpoint and the background one never interleave sequence
+	// numbers or WAL truncation.
+	dwal      *durable.WAL
+	ckptDir   string
+	keepCkpts int
+	ckptMu    sync.Mutex
+	ckptStop  chan struct{}
+	ckptDone  chan struct{}
+	closeOnce sync.Once
+
 	// metrics is the engine-wide instrument registry: the engine/* series
 	// resolved below, the recommender's rec/* series (shared through
 	// RecommenderConfig.Metrics so counters survive refresh swaps), and
@@ -149,6 +173,22 @@ type Engine struct {
 // NewEngine trains an engine on the dataset: builds profiles from the
 // training log and constructs the similarity graph.
 func NewEngine(ds *Dataset, opts EngineOptions) (*Engine, error) {
+	e, err := newEngineCore(ds, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.rec.Init(e.ctx); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// newEngineCore builds an engine up to — but not including — similarity-
+// graph construction: options validation, the metrics registry, the
+// profile store, the recommender shell. NewEngine finishes it with
+// rec.Init (builds the graph from profiles); recovery finishes it with
+// rec.InitWithGraph (installs a checkpointed graph, skipping the build).
+func newEngineCore(ds *Dataset, opts EngineOptions) (*Engine, error) {
 	if opts.MaxAge <= 0 {
 		opts.MaxAge = 72 * Hour
 	}
@@ -170,7 +210,7 @@ func NewEngine(ds *Dataset, opts EngineOptions) (*Engine, error) {
 		}
 	}
 
-	e := &Engine{ds: ds, opts: opts}
+	e := &Engine{ds: ds, opts: opts, wal: opts.WAL}
 	e.metrics = metrics.NewRegistry()
 	e.mRecommendLat = e.metrics.Histogram("engine/recommend/latency_ns")
 	e.mObserveLat = e.metrics.Histogram("engine/observe/latency_ns")
@@ -200,11 +240,7 @@ func NewEngine(ds *Dataset, opts EngineOptions) (*Engine, error) {
 		MaxAge:  opts.MaxAge,
 		Seed:    1,
 	}
-	rcfg := e.recommenderConfig()
-	e.rec = simgraph.NewRecommender(rcfg)
-	if err := e.rec.Init(e.ctx); err != nil {
-		return nil, err
-	}
+	e.rec = simgraph.NewRecommender(e.recommenderConfig())
 	return e, nil
 }
 
@@ -243,6 +279,13 @@ func (e *Engine) Observe(u UserID, t TweetID, at Timestamp) error {
 	}()
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.wal != nil {
+		// WAL-before-apply: if the append fails the action is neither
+		// logged nor applied, so the log never trails the applied state.
+		if _, err := e.wal.Append(a); err != nil {
+			return fmt.Errorf("repro: WAL append: %w", err)
+		}
+	}
 	e.observed = append(e.observed, a)
 	if at > e.observedNewest {
 		e.observedNewest = at

@@ -2,8 +2,11 @@ package dataset
 
 import (
 	"bytes"
+	"encoding/binary"
+	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -236,5 +239,102 @@ func assertEqualDatasets(t *testing.T, want, got *Dataset) {
 		if !reflect.DeepEqual(want.Graph.Out(ids.UserID(u)), got.Graph.Out(ids.UserID(u))) {
 			t.Fatalf("adjacency of %d differs", u)
 		}
+	}
+}
+
+// encodeV1 writes d in the legacy version-1 format (no version byte, no
+// checksum trailer), as pre-durability builds of the codec did.
+func encodeV1(d *Dataset) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("SIMREC01")
+	le := binary.LittleEndian
+	var b [16]byte
+	le.PutUint32(b[:4], uint32(d.NumUsers()))
+	buf.Write(b[:4])
+	le.PutUint64(b[:8], uint64(d.Graph.NumEdges()))
+	buf.Write(b[:8])
+	for u := 0; u < d.NumUsers(); u++ {
+		for _, v := range d.Graph.Out(ids.UserID(u)) {
+			le.PutUint32(b[:4], uint32(u))
+			le.PutUint32(b[4:8], uint32(v))
+			buf.Write(b[:8])
+		}
+	}
+	le.PutUint32(b[:4], uint32(len(d.Tweets)))
+	buf.Write(b[:4])
+	for _, t := range d.Tweets {
+		le.PutUint32(b[:4], uint32(t.Author))
+		le.PutUint64(b[4:12], uint64(t.Time))
+		le.PutUint16(b[12:14], uint16(t.Topic))
+		buf.Write(b[:14])
+	}
+	le.PutUint64(b[:8], uint64(len(d.Actions)))
+	buf.Write(b[:8])
+	for _, a := range d.Actions {
+		le.PutUint32(b[:4], uint32(a.User))
+		le.PutUint32(b[4:8], uint32(a.Tweet))
+		le.PutUint64(b[8:16], uint64(a.Time))
+		buf.Write(b[:16])
+	}
+	return buf.Bytes()
+}
+
+// TestCodecLoadsLegacyV1 pins backward compatibility: datasets saved
+// before the checksum trailer existed must still load.
+func TestCodecLoadsLegacyV1(t *testing.T) {
+	d := tinyDataset()
+	got, err := Load(bytes.NewReader(encodeV1(d)))
+	if err != nil {
+		t.Fatalf("legacy v1 load: %v", err)
+	}
+	assertEqualDatasets(t, d, got)
+}
+
+// TestCodecDetectsCorruption flips every byte of a valid v2 stream in
+// turn; each flip must be rejected (checksum, magic, or range check).
+func TestCodecDetectsCorruption(t *testing.T) {
+	d := tinyDataset()
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for i := range raw {
+		bad := append([]byte(nil), raw...)
+		bad[i] ^= 0x40
+		if _, err := Load(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("flipped byte %d of %d accepted", i, len(raw))
+		}
+	}
+}
+
+// TestCodecRejectsTrailingGarbage pins that the declared payload must
+// exhaust the stream, for both format versions.
+func TestCodecRejectsTrailingGarbage(t *testing.T) {
+	d := tinyDataset()
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, raw := range [][]byte{buf.Bytes(), encodeV1(d)} {
+		withTail := append(append([]byte(nil), raw...), 0xAA)
+		if _, err := Load(bytes.NewReader(withTail)); err == nil {
+			t.Error("stream with trailing garbage accepted")
+		}
+	}
+}
+
+// TestLoadFileWrapsPath pins that a corrupt file's error names the file.
+func TestLoadFileWrapsPath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corrupt.bin")
+	if err := os.WriteFile(path, []byte("SIMREC02 not a real dataset"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadFile(path)
+	if err == nil {
+		t.Fatal("corrupt file accepted")
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Errorf("error %q does not name the file", err)
 	}
 }

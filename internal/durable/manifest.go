@@ -1,0 +1,186 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/crcio"
+)
+
+// Manifest file format:
+//
+//	magic "CKPTMF01" | version u8 | payloadLen u32 | payload | crc32c u32
+//
+// payload:
+//
+//	seq u64 | walHWM u64 | observedNewest i64 | trainLen i64
+//	| numFiles u16 | files: (role u8 | nameLen u16 | name | size u64 | crc u32)*
+//
+// Little-endian. The CRC covers the payload only (magic and version are
+// validated structurally), and the manifest is tiny, so it is encoded and
+// decoded in memory. A checkpoint is valid iff its manifest decodes and
+// its files check out — the manifest is written last, atomically, which
+// is what makes the whole checkpoint atomic.
+
+const (
+	manifestMagic   = "CKPTMF01"
+	manifestVersion = 1
+	// maxManifestPayload bounds a declared payload length during decode;
+	// a real manifest is a few hundred bytes.
+	maxManifestPayload = 1 << 20
+)
+
+// FileRole tags a checkpoint file's content.
+type FileRole uint8
+
+// Checkpoint file roles.
+const (
+	FileDataset FileRole = 1
+	FileGraph   FileRole = 2
+	FileActions FileRole = 3
+)
+
+// ManifestFile describes one file a checkpoint comprises.
+type ManifestFile struct {
+	Role FileRole
+	// Name is the file's name within the checkpoint directory (no path
+	// separators).
+	Name string
+	// Size is the file's exact byte length.
+	Size int64
+	// CRC is the CRC32C of the whole file.
+	CRC uint32
+}
+
+// Manifest is the authoritative description of one checkpoint: which
+// files it comprises, the WAL position it covers, and the engine clock
+// state recovery must restore.
+type Manifest struct {
+	// Seq is the checkpoint sequence number; higher is newer.
+	Seq uint64
+	// WALHWM is the first WAL index NOT covered by this checkpoint:
+	// recovery replays the WAL from here.
+	WALHWM uint64
+	// ObservedNewest is the engine's newest observed action timestamp at
+	// checkpoint time (anchors the freshness horizon after recovery).
+	ObservedNewest int64
+	// TrainLen is the length of the training prefix of the dataset's
+	// action log the engine was built from; -1 means the whole log.
+	TrainLen int64
+	// Files lists the checkpoint's data files.
+	Files []ManifestFile
+}
+
+// File returns the manifest entry with the given role, or nil.
+func (m *Manifest) File(role FileRole) *ManifestFile {
+	for i := range m.Files {
+		if m.Files[i].Role == role {
+			return &m.Files[i]
+		}
+	}
+	return nil
+}
+
+// EncodeManifest renders m to its binary form.
+func EncodeManifest(m *Manifest) []byte {
+	le := binary.LittleEndian
+	payload := make([]byte, 0, 64+32*len(m.Files))
+	payload = le.AppendUint64(payload, m.Seq)
+	payload = le.AppendUint64(payload, m.WALHWM)
+	payload = le.AppendUint64(payload, uint64(m.ObservedNewest))
+	payload = le.AppendUint64(payload, uint64(m.TrainLen))
+	payload = le.AppendUint16(payload, uint16(len(m.Files)))
+	for _, f := range m.Files {
+		payload = append(payload, byte(f.Role))
+		payload = le.AppendUint16(payload, uint16(len(f.Name)))
+		payload = append(payload, f.Name...)
+		payload = le.AppendUint64(payload, uint64(f.Size))
+		payload = le.AppendUint32(payload, f.CRC)
+	}
+	out := make([]byte, 0, len(manifestMagic)+1+4+len(payload)+4)
+	out = append(out, manifestMagic...)
+	out = append(out, manifestVersion)
+	out = le.AppendUint32(out, uint32(len(payload)))
+	out = append(out, payload...)
+	out = le.AppendUint32(out, crcio.Checksum(payload))
+	return out
+}
+
+// DecodeManifest parses a manifest image. Arbitrary input never panics
+// and never allocates beyond the (bounded) declared payload: it returns
+// an error or a fully validated manifest. Trailing bytes after the
+// checksum are rejected.
+func DecodeManifest(data []byte) (*Manifest, error) {
+	le := binary.LittleEndian
+	hdr := len(manifestMagic) + 1 + 4
+	if len(data) < hdr {
+		return nil, fmt.Errorf("durable: manifest too short (%d bytes)", len(data))
+	}
+	if string(data[:len(manifestMagic)]) != manifestMagic {
+		return nil, fmt.Errorf("durable: bad manifest magic %q", data[:len(manifestMagic)])
+	}
+	if v := data[len(manifestMagic)]; v != manifestVersion {
+		return nil, fmt.Errorf("durable: unsupported manifest version %d", v)
+	}
+	plen := int64(le.Uint32(data[len(manifestMagic)+1 : hdr]))
+	if plen > maxManifestPayload {
+		return nil, fmt.Errorf("durable: manifest payload length %d exceeds bound", plen)
+	}
+	if int64(len(data)) != int64(hdr)+plen+4 {
+		return nil, fmt.Errorf("durable: manifest length %d does not match declared payload %d", len(data), plen)
+	}
+	payload := data[hdr : int64(hdr)+plen]
+	if crcio.Checksum(payload) != le.Uint32(data[int64(hdr)+plen:]) {
+		return nil, fmt.Errorf("durable: manifest checksum mismatch")
+	}
+	if len(payload) < 8+8+8+8+2 {
+		return nil, fmt.Errorf("durable: manifest payload too short (%d bytes)", len(payload))
+	}
+	m := &Manifest{
+		Seq:            le.Uint64(payload[0:8]),
+		WALHWM:         le.Uint64(payload[8:16]),
+		ObservedNewest: int64(le.Uint64(payload[16:24])),
+		TrainLen:       int64(le.Uint64(payload[24:32])),
+	}
+	numFiles := int(le.Uint16(payload[32:34]))
+	rest := payload[34:]
+	for i := 0; i < numFiles; i++ {
+		if len(rest) < 3 {
+			return nil, fmt.Errorf("durable: manifest file %d truncated", i)
+		}
+		role := FileRole(rest[0])
+		nameLen := int(le.Uint16(rest[1:3]))
+		rest = rest[3:]
+		if len(rest) < nameLen+12 {
+			return nil, fmt.Errorf("durable: manifest file %d truncated", i)
+		}
+		name := string(rest[:nameLen])
+		if name == "" || !validFileName(name) {
+			return nil, fmt.Errorf("durable: manifest file %d has invalid name %q", i, name)
+		}
+		rest = rest[nameLen:]
+		m.Files = append(m.Files, ManifestFile{
+			Role: role,
+			Name: name,
+			Size: int64(le.Uint64(rest[0:8])),
+			CRC:  le.Uint32(rest[8:12]),
+		})
+		rest = rest[12:]
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("durable: %d bytes of trailing garbage in manifest payload", len(rest))
+	}
+	return m, nil
+}
+
+// validFileName rejects names that could escape the checkpoint
+// directory: manifests name sibling files, nothing else.
+func validFileName(name string) bool {
+	for i := 0; i < len(name); i++ {
+		switch name[i] {
+		case '/', '\\', 0:
+			return false
+		}
+	}
+	return name != "." && name != ".."
+}

@@ -1,0 +1,188 @@
+package durable
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/crcio"
+	"repro/internal/dataset"
+)
+
+// ScanStats reports what one segment scan found and how it ended.
+type ScanStats struct {
+	// FirstIndex is the segment header's first record index.
+	FirstIndex uint64
+	// Records is how many valid records the scan delivered.
+	Records int
+	// GoodBytes is the byte offset just past the last valid record — the
+	// truncation point that drops a torn tail.
+	GoodBytes int64
+	// TornBytes is how many trailing bytes were unreadable (0 when the
+	// segment ends cleanly on a record boundary).
+	TornBytes int64
+	// Torn is true when the scan stopped at a bad record — a short
+	// header, an absurd length, a short payload, or a checksum mismatch —
+	// rather than a clean end of file.
+	Torn bool
+}
+
+// ScanSegment reads one segment stream, calling fn (if non-nil) for each
+// valid record with its log-wide index. Arbitrary input never panics and
+// never allocates beyond one record buffer: the scan stops at the first
+// bad record and reports how much was salvaged. A missing or corrupt
+// header is an error; a torn record tail is not (Torn/TornBytes say so).
+func ScanSegment(r io.Reader, fn func(idx uint64, a dataset.Action) error) (ScanStats, error) {
+	var st ScanStats
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [segHeaderSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return st, fmt.Errorf("durable: reading segment header: %w", err)
+	}
+	if string(hdr[:len(segMagic)]) != segMagic {
+		return st, fmt.Errorf("durable: bad segment magic %q", hdr[:len(segMagic)])
+	}
+	le := binary.LittleEndian
+	st.FirstIndex = le.Uint64(hdr[len(segMagic):])
+	st.GoodBytes = int64(segHeaderSize)
+
+	var rec [recHeaderSize]byte
+	payload := make([]byte, 0, maxRecordSize)
+	for {
+		n, err := io.ReadFull(br, rec[:])
+		if err == io.EOF {
+			return st, nil // clean end on a record boundary
+		}
+		if err != nil {
+			st.Torn = true
+			st.TornBytes = int64(n)
+			return st, nil
+		}
+		size := le.Uint32(rec[:4])
+		if size == 0 || size > maxRecordSize {
+			st.Torn = true
+			st.TornBytes = int64(recHeaderSize) + tallyRemaining(br)
+			return st, nil
+		}
+		payload = payload[:size]
+		pn, err := io.ReadFull(br, payload)
+		if err != nil {
+			st.Torn = true
+			st.TornBytes = int64(recHeaderSize+pn) + tallyRemaining(br)
+			return st, nil
+		}
+		if crcio.Checksum(payload) != le.Uint32(rec[4:8]) {
+			st.Torn = true
+			st.TornBytes = int64(recHeaderSize+int(size)) + tallyRemaining(br)
+			return st, nil
+		}
+		a, err := decodeActionPayload(payload)
+		if err != nil {
+			st.Torn = true
+			st.TornBytes = int64(recHeaderSize+int(size)) + tallyRemaining(br)
+			return st, nil
+		}
+		if fn != nil {
+			if err := fn(st.FirstIndex+uint64(st.Records), a); err != nil {
+				return st, err
+			}
+		}
+		st.Records++
+		st.GoodBytes += int64(recHeaderSize) + int64(size)
+	}
+}
+
+// tallyRemaining counts (and discards) the rest of a stream, so torn-tail
+// reports can say how many bytes were lost, not just where.
+func tallyRemaining(r io.Reader) int64 {
+	n, _ := io.Copy(io.Discard, r)
+	return n
+}
+
+// scanSegmentFile scans one segment by path.
+func scanSegmentFile(path string, fn func(idx uint64, a dataset.Action) error) (ScanStats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return ScanStats{}, err
+	}
+	defer f.Close()
+	st, err := ScanSegment(f, fn)
+	if err != nil {
+		return st, fmt.Errorf("durable: %s: %w", path, err)
+	}
+	return st, nil
+}
+
+// ReplayStats reports a ReplayWAL pass.
+type ReplayStats struct {
+	// Segments is how many segment files were opened.
+	Segments int
+	// Records is how many records were delivered to the callback.
+	Records int
+	// NextIndex is the index one past the last valid record in the log
+	// (the append position a writer would resume at).
+	NextIndex uint64
+	// SalvagedBytes is the total valid record bytes read.
+	SalvagedBytes int64
+	// TornBytes is how many bytes were dropped at the torn tail.
+	TornBytes int64
+	// Torn is true when the log ended in a torn record.
+	Torn bool
+}
+
+// ReplayWAL replays every record with index >= from, in index order,
+// through fn. The scan stops — without error — at the first bad record:
+// a torn tail from a crash mid-append costs the records after it, never
+// the replay itself. fn returning an error aborts the replay with that
+// error.
+func ReplayWAL(dir string, from uint64, fn func(idx uint64, a dataset.Action) error) (ReplayStats, error) {
+	var rs ReplayStats
+	segs, err := listSegments(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return rs, nil
+		}
+		return rs, err
+	}
+	rs.NextIndex = from
+	for i, s := range segs {
+		// Skip segments entirely below the replay horizon: every record
+		// in s is below the next segment's first index.
+		if i+1 < len(segs) && segs[i+1].first <= from {
+			continue
+		}
+		deliver := func(idx uint64, a dataset.Action) error {
+			if idx < from {
+				return nil
+			}
+			if err := fn(idx, a); err != nil {
+				return err
+			}
+			rs.Records++
+			return nil
+		}
+		st, err := scanSegmentFile(s.path, deliver)
+		if err != nil {
+			return rs, err
+		}
+		if st.FirstIndex != s.first {
+			return rs, fmt.Errorf("durable: segment %s header says first index %d, name says %d", s.path, st.FirstIndex, s.first)
+		}
+		rs.Segments++
+		rs.SalvagedBytes += st.GoodBytes - int64(segHeaderSize)
+		end := st.FirstIndex + uint64(st.Records)
+		if end > rs.NextIndex {
+			rs.NextIndex = end
+		}
+		if st.Torn {
+			// Stop at the first bad record: anything in later segments
+			// is past a hole and cannot be replayed in order.
+			rs.Torn = true
+			rs.TornBytes = st.TornBytes
+			return rs, nil
+		}
+	}
+	return rs, nil
+}

@@ -2,8 +2,11 @@ package wgraph
 
 import (
 	"bytes"
+	"encoding/binary"
+	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -86,5 +89,91 @@ func TestCodecFiles(t *testing.T) {
 	}
 	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing")); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+// encodeV1 writes g in the legacy version-1 format (no version byte, no
+// checksum trailer), as pre-durability builds of the codec did.
+func encodeV1(g *Graph) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("SIMGRF01")
+	var b [12]byte
+	le := binary.LittleEndian
+	le.PutUint32(b[:4], uint32(g.NumNodes()))
+	buf.Write(b[:4])
+	le.PutUint64(b[:8], uint64(g.NumEdges()))
+	buf.Write(b[:8])
+	for u := 0; u < g.NumNodes(); u++ {
+		to, ws := g.Out(ids.UserID(u))
+		for i := range to {
+			le.PutUint32(b[:4], uint32(u))
+			le.PutUint32(b[4:8], uint32(to[i]))
+			le.PutUint32(b[8:12], floatBits(ws[i]))
+			buf.Write(b[:12])
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestCodecLoadsLegacyV1 pins backward compatibility: snapshots written
+// before the checksum trailer existed must still load.
+func TestCodecLoadsLegacyV1(t *testing.T) {
+	g := triangle()
+	got, err := Load(bytes.NewReader(encodeV1(g)))
+	if err != nil {
+		t.Fatalf("legacy v1 load: %v", err)
+	}
+	if !reflect.DeepEqual(g.Edges(), got.Edges()) || got.NumNodes() != g.NumNodes() {
+		t.Fatal("legacy v1 round-trip mismatch")
+	}
+}
+
+// TestCodecDetectsCorruption flips every byte of a valid v2 stream in
+// turn; each flip must be rejected (checksum, magic, or range check) —
+// silent mis-loads are what the trailer exists to prevent.
+func TestCodecDetectsCorruption(t *testing.T) {
+	g := triangle()
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for i := range raw {
+		bad := append([]byte(nil), raw...)
+		bad[i] ^= 0x40
+		if _, err := Load(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("flipped byte %d of %d accepted", i, len(raw))
+		}
+	}
+}
+
+// TestCodecRejectsTrailingGarbage pins that the declared edge count must
+// exhaust the stream, for both format versions.
+func TestCodecRejectsTrailingGarbage(t *testing.T) {
+	g := triangle()
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, raw := range [][]byte{buf.Bytes(), encodeV1(g)} {
+		withTail := append(append([]byte(nil), raw...), 0xAA)
+		if _, err := Load(bytes.NewReader(withTail)); err == nil {
+			t.Error("stream with trailing garbage accepted")
+		}
+	}
+}
+
+// TestLoadFileWrapsPath pins that a corrupt file's error names the file.
+func TestLoadFileWrapsPath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corrupt.bin")
+	if err := os.WriteFile(path, []byte("SIMGRF02 not a real graph"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadFile(path)
+	if err == nil {
+		t.Fatal("corrupt file accepted")
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Errorf("error %q does not name the file", err)
 	}
 }
