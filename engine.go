@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -135,7 +136,11 @@ type Engine struct {
 	// wal is the durability hook from EngineOptions.WAL: Observe appends
 	// each accepted action before applying it (under the exclusive lock,
 	// so log order equals apply order). Nil for in-memory engines.
-	wal ActionLog
+	// walBuf is wal's bufferedLog refinement when it has one: Observe
+	// then appends under the lock but runs the policy's durability wait
+	// (SyncAlways fsync) after releasing it.
+	wal    ActionLog
+	walBuf bufferedLog
 	// Durability plumbing installed by OpenEngine: the owned WAL (closed
 	// by Close — distinct from wal, which may be caller-supplied), the
 	// checkpoint directory and retention for the background checkpointer,
@@ -157,7 +162,7 @@ type Engine struct {
 	// and MetricsRegistry().
 	metrics       *metrics.Registry
 	mRecommendLat *metrics.Histogram // engine/recommend/latency_ns
-	mObserveLat   *metrics.Histogram // engine/observe/latency_ns (== write-lock hold)
+	mObserveLat   *metrics.Histogram // engine/observe/latency_ns (lock hold + durability wait)
 	mRefreshBuild *metrics.Histogram // engine/refresh/build_ns (read-locked phase)
 	mRefreshLock  *metrics.Histogram // engine/refresh/lock_hold_ns (exclusive swap+replay)
 	mRecommends   *metrics.Counter   // engine/recommend/requests
@@ -168,6 +173,7 @@ type Engine struct {
 	mCompacted    *metrics.Counter   // engine/refresh/compacted_actions
 	mInvalidSeeds *metrics.Counter   // engine/propagate/invalid_seeds
 	mObservedLen  *metrics.Gauge     // engine/observed_log/len
+	mWALDegraded  *metrics.Counter   // engine/wal/degraded_appends
 }
 
 // NewEngine trains an engine on the dataset: builds profiles from the
@@ -211,6 +217,7 @@ func newEngineCore(ds *Dataset, opts EngineOptions) (*Engine, error) {
 	}
 
 	e := &Engine{ds: ds, opts: opts, wal: opts.WAL}
+	e.walBuf, _ = e.wal.(bufferedLog)
 	e.metrics = metrics.NewRegistry()
 	e.mRecommendLat = e.metrics.Histogram("engine/recommend/latency_ns")
 	e.mObserveLat = e.metrics.Histogram("engine/observe/latency_ns")
@@ -224,6 +231,7 @@ func newEngineCore(ds *Dataset, opts EngineOptions) (*Engine, error) {
 	e.mCompacted = e.metrics.Counter("engine/refresh/compacted_actions")
 	e.mInvalidSeeds = e.metrics.Counter("engine/propagate/invalid_seeds")
 	e.mObservedLen = e.metrics.Gauge("engine/observed_log/len")
+	e.mWALDegraded = e.metrics.Counter("engine/wal/degraded_appends")
 	e.store = similarity.NewStore(ds.NumUsers(), ds.NumTweets(), train)
 	e.store.Instrument(
 		e.metrics.Counter("similarity/simbatch/batch_calls"),
@@ -263,27 +271,48 @@ func (e *Engine) recommenderConfig() simgraph.RecommenderConfig {
 // Observe streams one retweet into the engine: it updates the user's
 // profile, re-propagates the tweet's share probabilities over the
 // similarity graph, and refreshes candidate pools. Observe is a writer:
-// it excludes concurrent readers for the duration of the propagation.
+// it excludes concurrent readers for the duration of the propagation —
+// but not for the WAL durability wait, which runs after the lock is
+// released (see below), so with WALSyncAlways a slow fsync delays only
+// this writer.
+//
+// A nil error means the action was applied (and logged, when a WAL is
+// attached). An error wrapping ErrWALRecordLogged means the record
+// reached the log but its durability is in doubt — the action WAS
+// applied, because recovery may replay the logged record and skipping
+// the apply would let live and recovered state diverge. Any other error
+// means the action was neither logged nor applied.
 func (e *Engine) Observe(u UserID, t TweetID, at Timestamp) error {
 	if err := validateIDs(e.ds, u, t); err != nil {
 		return err
 	}
 	a := Action{User: u, Tweet: t, Time: at}
 	start := time.Now()
-	// LIFO defers: the latency is observed after the unlock, so the
-	// histogram reads the full write-path hold (Observe holds the
-	// exclusive lock for its entire body).
+	// The latency histogram reads the full write path: lock hold plus,
+	// for SyncAlways logs, the post-unlock durability wait.
 	defer func() {
 		e.mObserveLat.ObserveDuration(time.Since(start))
 		e.mObserves.Inc()
 	}()
+	var walErr error
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.wal != nil {
-		// WAL-before-apply: if the append fails the action is neither
-		// logged nor applied, so the log never trails the applied state.
-		if _, err := e.wal.Append(a); err != nil {
-			return fmt.Errorf("repro: WAL append: %w", err)
+		// WAL-before-apply: an append that never reached the log rejects
+		// the action, so the log never trails the applied state. The
+		// buffered form defers the fsync wait past the unlock.
+		var err error
+		if e.walBuf != nil {
+			_, err = e.walBuf.AppendBuffered(a)
+		} else {
+			_, err = e.wal.Append(a)
+		}
+		if err != nil {
+			if !errors.Is(err, ErrWALRecordLogged) {
+				e.mu.Unlock()
+				return fmt.Errorf("repro: WAL append: %w", err)
+			}
+			e.mWALDegraded.Inc()
+			walErr = fmt.Errorf("repro: WAL degraded (action applied and logged): %w", err)
 		}
 	}
 	e.observed = append(e.observed, a)
@@ -293,7 +322,14 @@ func (e *Engine) Observe(u UserID, t TweetID, at Timestamp) error {
 	e.mObservedLen.Set(int64(len(e.observed)))
 	e.store.Observe(u, t)
 	e.rec.Observe(a)
-	return nil
+	e.mu.Unlock()
+	if walErr == nil && e.walBuf != nil {
+		if err := e.walBuf.SyncAfterAppend(); err != nil {
+			e.mWALDegraded.Inc()
+			walErr = fmt.Errorf("repro: WAL degraded (action applied and logged): %w", err)
+		}
+	}
+	return walErr
 }
 
 // Recommend returns up to k fresh recommendations for u at time now,

@@ -305,6 +305,9 @@ func loadCheckpoint(dir, manifestPath string) (*Checkpoint, error) {
 		if st.Size() != mf.Size {
 			return nil, fmt.Errorf("%s: size %d does not match manifest's %d", path, st.Size(), mf.Size)
 		}
+		if err := verifyFileCRC(path, mf.CRC); err != nil {
+			return nil, err
+		}
 		switch role {
 		case FileDataset:
 			if ck.Dataset, err = dataset.LoadFile(path); err != nil {
@@ -327,6 +330,26 @@ func loadCheckpoint(dir, manifestPath string) (*Checkpoint, error) {
 		}
 	}
 	return ck, nil
+}
+
+// verifyFileCRC streams path and checks its whole-file CRC32C against
+// the manifest's record, so a checkpoint file that was swapped or
+// damaged is rejected independently of its codec's internal trailer
+// (legacy v1 payloads have none).
+func verifyFileCRC(path string, want uint32) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cr := crcio.NewReader(bufio.NewReaderSize(f, 1<<16))
+	if _, err := io.Copy(io.Discard, cr); err != nil {
+		return err
+	}
+	if cr.Sum != want {
+		return fmt.Errorf("%s: whole-file CRC %08x does not match manifest's %08x", path, cr.Sum, want)
+	}
+	return nil
 }
 
 // PruneCheckpoints deletes all but the newest keep checkpoints (manifest

@@ -2,6 +2,7 @@ package durable
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -292,6 +293,124 @@ func TestWALSyncPolicies(t *testing.T) {
 	}
 }
 
+func TestWALEnsureNextIndex(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, WALOptions{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, testActions(3))
+	if err := w.EnsureNextIndex(3); err != nil { // not behind: no-op
+		t.Fatal(err)
+	}
+	if got := w.NextIndex(); got != 3 {
+		t.Fatalf("NextIndex after no-op bump = %d, want 3", got)
+	}
+	if err := w.EnsureNextIndex(10); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.NextIndex(); got != 10 {
+		t.Fatalf("NextIndex after bump = %d, want 10", got)
+	}
+	idx, err := w.Append(dataset.Action{User: 1, Tweet: 2, Time: 3})
+	if err != nil || idx != 10 {
+		t.Fatalf("post-bump append = %d, %v, want index 10", idx, err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, rs := replayAll(t, dir, 10)
+	if len(got) != 1 || rs.NextIndex != 11 {
+		t.Fatalf("replay past the bump: %d records, NextIndex %d", len(got), rs.NextIndex)
+	}
+	// Reopening must resume past the bump, not at the pre-bump count.
+	w, err = OpenWAL(dir, WALOptions{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.NextIndex(); got != 11 {
+		t.Fatalf("NextIndex after reopen = %d, want 11", got)
+	}
+	w.Close()
+}
+
+// TestWALBarrierFsyncsEveryPolicy pins the checkpoint write barrier:
+// Barrier must flush and fsync even under policies that otherwise defer
+// (interval) or skip (none) the fsync.
+func TestWALBarrierFsyncsEveryPolicy(t *testing.T) {
+	for _, p := range []SyncPolicy{SyncNone, SyncInterval} {
+		reg := metrics.NewRegistry()
+		dir := t.TempDir()
+		w, err := OpenWAL(dir, WALOptions{Sync: p, SyncEvery: time.Hour, Metrics: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := testActions(5)
+		appendAll(t, w, want)
+		if err := w.Barrier(); err != nil {
+			t.Fatal(err)
+		}
+		if got := reg.Snapshot().Counter("wal/fsync/count"); got == 0 {
+			t.Fatalf("policy %v: Barrier did not fsync", p)
+		}
+		// The records are on disk before any Close.
+		got, _ := replayAll(t, dir, 0)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("policy %v: on-disk log incomplete after Barrier", p)
+		}
+		w.Close()
+	}
+}
+
+// TestWALSyncKeepsDirtyAfterFailedFlush pins the group-commit retry
+// contract: a Sync whose flush fails must leave the dirty mark set so
+// the next Sync retries, instead of believing the records durable while
+// they sit in the buffer or page cache.
+func TestWALSyncKeepsDirtyAfterFailedFlush(t *testing.T) {
+	w, err := OpenWAL(t.TempDir(), WALOptions{Sync: SyncInterval, SyncEvery: time.Hour, Metrics: metrics.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(dataset.Action{User: 1, Tweet: 2, Time: 3}); err != nil {
+		t.Fatal(err)
+	}
+	w.f.Close() // the buffered record can no longer reach the file
+	if err := w.Sync(); err == nil {
+		t.Fatal("Sync flushed to a closed file without error")
+	}
+	w.mu.Lock()
+	dirty := w.dirty
+	w.mu.Unlock()
+	if !dirty {
+		t.Fatal("failed Sync cleared the dirty mark; a later group commit would skip the fsync")
+	}
+}
+
+// TestWALFailsClosedAfterWriteError: once an append's write errors, part
+// of a record may sit torn in the buffer or file, and replay silently
+// stops at the first bad record — so the WAL must refuse to grow rather
+// than let later records land past the tear and vanish.
+func TestWALFailsClosedAfterWriteError(t *testing.T) {
+	w, err := OpenWAL(t.TempDir(), WALOptions{Sync: SyncNone, Metrics: metrics.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.f.Close()
+	a := dataset.Action{User: 1, Tweet: 2, Time: 3}
+	var firstErr error
+	for i := 0; i < 1<<13; i++ { // overflow the write buffer to force a write-through
+		if _, firstErr = w.Append(a); firstErr != nil {
+			break
+		}
+	}
+	if firstErr == nil {
+		t.Fatal("appends through a closed file never failed")
+	}
+	if _, err := w.Append(a); !errors.Is(err, ErrFailed) {
+		t.Fatalf("append after a write error = %v, want ErrFailed", err)
+	}
+}
+
 func TestParseSyncPolicy(t *testing.T) {
 	for s, want := range map[string]SyncPolicy{"always": SyncAlways, "interval": SyncInterval, "none": SyncNone} {
 		got, err := ParseSyncPolicy(s)
@@ -450,6 +569,35 @@ func TestCheckpointFallsBackToOlder(t *testing.T) {
 	ck, skipped, err = LoadNewestCheckpoint(dir)
 	if err != nil || ck == nil || ck.Manifest.Seq != 1 || skipped != 0 {
 		t.Fatalf("post-delete load: seq=%v skipped=%d err=%v", ck != nil, skipped, err)
+	}
+}
+
+// TestCheckpointRejectsManifestCRCMismatch pins that load verifies each
+// file against the manifest's whole-file CRC, not only the codecs' own
+// trailers: an internally-consistent file that is not the file the
+// manifest describes must be rejected.
+func TestCheckpointRejectsManifestCRCMismatch(t *testing.T) {
+	dir := t.TempDir()
+	ds := testDataset(t)
+	res := writeTestCheckpoint(t, dir, ds, CheckpointMeta{WALHWM: 5})
+	raw, err := os.ReadFile(res.ManifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := DecodeManifest(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Files[1].CRC ^= 1 // manifest now disagrees with the (intact) graph file
+	if err := os.WriteFile(res.ManifestPath, EncodeManifest(m), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ck, skipped, err := LoadNewestCheckpoint(dir)
+	if err == nil || ck != nil {
+		t.Fatalf("checkpoint with a mismatched manifest CRC loaded (skipped=%d)", skipped)
+	}
+	if !strings.Contains(err.Error(), "CRC") {
+		t.Fatalf("rejection does not name the CRC mismatch: %v", err)
 	}
 }
 

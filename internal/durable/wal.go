@@ -67,6 +67,22 @@ const (
 // ErrClosed is returned by operations on a closed WAL.
 var ErrClosed = errors.New("durable: WAL is closed")
 
+// ErrFailed is returned by appends after a write error left the active
+// segment in an untrustworthy state — a record may sit half-written in
+// the buffer or the file, and anything appended after it would land past
+// a torn record and be dropped silently by replay (the scan stops at the
+// first bad record). The WAL refuses to grow until reopened.
+var ErrFailed = errors.New("durable: WAL failed after a write error; reopen to append")
+
+// ErrRecordLogged marks append failures that happen after the record was
+// written into the log — a segment rotation or an always-policy fsync
+// failed, but the record itself is in the log (possibly already durable)
+// and recovery may replay it. Callers that mirror the log into live
+// state (Engine.Observe) must treat such a record as logged and apply
+// it anyway; skipping the apply would make live and recovered state
+// diverge. Test with errors.Is.
+var ErrRecordLogged = errors.New("durable: WAL degraded after the record was logged")
+
 // SyncPolicy selects when appended records are fsynced to stable storage.
 type SyncPolicy int
 
@@ -147,6 +163,7 @@ type WAL struct {
 	next    uint64
 	dirty   bool
 	closed  bool
+	failed  bool
 	scratch [recHeaderSize + actionPayloadSize]byte
 
 	// syncMu serializes fsyncs so group commits from the ticker, Append
@@ -250,13 +267,37 @@ func (w *WAL) syncLoop() {
 // Append writes one action record to the log and returns its index.
 // Allocation-free on the steady path; with SyncAlways the record is
 // durable before Append returns, otherwise durability follows the sync
-// policy.
+// policy. An error wrapping ErrRecordLogged means the record reached the
+// log despite the failure — see AppendBuffered.
 func (w *WAL) Append(a dataset.Action) (uint64, error) {
+	idx, err := w.AppendBuffered(a)
+	if err != nil {
+		return idx, err
+	}
+	return idx, w.SyncAfterAppend()
+}
+
+// AppendBuffered writes one action record and returns its index without
+// the policy's durability wait: even under SyncAlways no fsync happens
+// here — the caller completes the append with SyncAfterAppend once the
+// record is safe to expose. Engine.Observe appends under its exclusive
+// lock (so log order equals apply order) and waits outside it, so a slow
+// disk delays the writer, not concurrent readers.
+//
+// An error wrapping ErrRecordLogged means the record was written into
+// the log before the failure and recovery may replay it; any other error
+// means it was not logged. Either failure marks the WAL failed: a record
+// appended after a torn write would be dropped silently by replay.
+func (w *WAL) AppendBuffered(a dataset.Action) (uint64, error) {
 	le := binary.LittleEndian
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
 		return 0, ErrClosed
+	}
+	if w.failed {
+		w.mu.Unlock()
+		return 0, ErrFailed
 	}
 	p := w.scratch[recHeaderSize:]
 	p[0] = recordAction
@@ -266,6 +307,9 @@ func (w *WAL) Append(a dataset.Action) (uint64, error) {
 	le.PutUint32(w.scratch[0:4], actionPayloadSize)
 	le.PutUint32(w.scratch[4:8], crcio.Checksum(p[:actionPayloadSize]))
 	if _, err := w.bw.Write(w.scratch[:]); err != nil {
+		// The record may be half-buffered or half-flushed; nothing may
+		// follow it.
+		w.failed = true
 		w.mu.Unlock()
 		return 0, err
 	}
@@ -275,18 +319,39 @@ func (w *WAL) Append(a dataset.Action) (uint64, error) {
 	w.dirty = true
 	var rotateErr error
 	if w.size >= w.opts.SegmentSize {
-		rotateErr = w.rotateLocked()
+		if rotateErr = w.rotateLocked(); rotateErr != nil {
+			w.failed = true
+		}
 	}
 	w.mu.Unlock()
 	w.mRecords.Inc()
 	w.mBytes.Add(uint64(len(w.scratch)))
 	if rotateErr != nil {
-		return idx, rotateErr
-	}
-	if w.opts.Sync == SyncAlways {
-		return idx, w.Sync()
+		// The record itself was fully buffered before rotation ran, so it
+		// is in the log even though the segment handoff failed.
+		return idx, fmt.Errorf("%w: rotating segment: %w", ErrRecordLogged, rotateErr)
 	}
 	return idx, nil
+}
+
+// SyncAfterAppend completes an AppendBuffered according to the sync
+// policy: a group commit under SyncAlways, a no-op otherwise (the ticker
+// or rotation flushes later). An error wraps ErrRecordLogged — the
+// record is in the log but durability was not reached — and marks the
+// WAL failed: after a reported fsync failure the kernel may have dropped
+// the dirty pages, so a retried fsync proving nothing must not let the
+// log keep growing.
+func (w *WAL) SyncAfterAppend() error {
+	if w.opts.Sync != SyncAlways {
+		return nil
+	}
+	if err := w.Sync(); err != nil {
+		w.mu.Lock()
+		w.failed = true
+		w.mu.Unlock()
+		return fmt.Errorf("%w: fsync: %w", ErrRecordLogged, err)
+	}
+	return nil
 }
 
 // NextIndex reports the sequence number the next appended record will
@@ -297,27 +362,72 @@ func (w *WAL) NextIndex() uint64 {
 	return w.next
 }
 
+// EnsureNextIndex guarantees the next appended record gets index at
+// least idx, sealing the active segment and opening a fresh one at idx
+// when the log is behind. OpenEngine calls it with the recovered
+// checkpoint's high-water mark: a crash can lose an un-fsynced WAL tail
+// the checkpoint already covers, and without the bump new appends would
+// reuse indices below the mark — records the next recovery would
+// silently skip.
+func (w *WAL) EnsureNextIndex(idx uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if w.next >= idx {
+		return nil
+	}
+	w.next = idx
+	return w.rotateLocked()
+}
+
 // Sync flushes buffered records to the OS and fsyncs the active segment:
 // one group commit. Concurrent appends keep flowing — the fsync runs
-// outside the append lock, so it delays durability, not writers.
-func (w *WAL) Sync() error {
+// outside the append lock, so it delays durability, not writers. The
+// dirty mark survives a failed flush or fsync, so the next group commit
+// retries instead of believing the records durable.
+func (w *WAL) Sync() error { return w.sync(false) }
+
+// Barrier makes every record appended so far durable regardless of the
+// sync policy — the write barrier a checkpoint needs before recording a
+// WAL high-water mark in a durable manifest: even under SyncNone, the
+// manifest's claim must not outrun the log on disk, or a crash leaves
+// post-restart appends reusing indices below the mark that the next
+// recovery silently skips.
+func (w *WAL) Barrier() error { return w.sync(true) }
+
+func (w *WAL) sync(force bool) error {
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
 		return nil
 	}
-	err := w.bw.Flush()
+	if err := w.bw.Flush(); err != nil {
+		w.mu.Unlock()
+		return err // dirty stays set: the bytes never reached the OS
+	}
 	f := w.f
 	dirty := w.dirty
-	w.dirty = false
+	flushedNext := w.next
 	w.mu.Unlock()
-	if err != nil {
-		return err
-	}
-	if !dirty || w.opts.Sync == SyncNone {
+	// !dirty means every record is already flushed AND fsynced (the mark
+	// clears only below, after a successful fsync, or in rotateLocked
+	// which syncs the retiring segment), so even a Barrier can skip.
+	if !dirty || (w.opts.Sync == SyncNone && !force) {
 		return nil
 	}
-	return w.syncFile(f)
+	if err := w.syncFile(f); err != nil {
+		return err // dirty stays set: durability was not reached
+	}
+	// Clear the mark only if nothing landed while the fsync ran; a
+	// concurrent append or rotation keeps the log dirty.
+	w.mu.Lock()
+	if w.f == f && w.next == flushedNext {
+		w.dirty = false
+	}
+	w.mu.Unlock()
+	return nil
 }
 
 // syncFile fsyncs f under syncMu, timing the call. A "file already

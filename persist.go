@@ -22,12 +22,44 @@ import (
 // writers quiesced it is exactly the count of actions both logged and
 // applied, which is what a checkpoint records as its WAL high-water
 // mark. *durable.WAL implements it.
+//
+// An Append error wrapping ErrWALRecordLogged means the record reached
+// the log before the failure; Observe then applies the action anyway
+// (the log may replay it on recovery) and surfaces the degradation. Any
+// other error means "not logged", and Observe rejects the action.
 type ActionLog interface {
 	Append(a Action) (uint64, error)
 	NextIndex() uint64
 }
 
-var _ ActionLog = (*durable.WAL)(nil)
+// ErrWALRecordLogged marks a WAL-append failure that happened after the
+// record was written into the log. An Observe error wrapping it means
+// the action WAS applied and logged — only its durability is in doubt.
+// Test with errors.Is.
+var ErrWALRecordLogged = durable.ErrRecordLogged
+
+// bufferedLog is the optional ActionLog refinement Observe prefers: the
+// append runs under the engine's exclusive lock (log order = apply
+// order) while the policy's durability wait — an fsync under
+// WALSyncAlways — runs via SyncAfterAppend once the lock is released, so
+// a slow disk delays only the writer, never concurrent Recommend
+// readers. *durable.WAL implements it.
+type bufferedLog interface {
+	ActionLog
+	AppendBuffered(a Action) (uint64, error)
+	SyncAfterAppend() error
+}
+
+// walBarrier is the optional ActionLog refinement Checkpoint uses to
+// force every record below its high-water mark onto disk before the
+// manifest recording that mark is installed.
+type walBarrier interface{ Barrier() error }
+
+var (
+	_ ActionLog   = (*durable.WAL)(nil)
+	_ bufferedLog = (*durable.WAL)(nil)
+	_ walBarrier  = (*durable.WAL)(nil)
+)
 
 // WALSyncPolicy selects when WAL appends are fsynced; re-exported from
 // internal/durable for OpenOptions.
@@ -176,7 +208,19 @@ func OpenEngine(dir string, opts OpenOptions) (*Engine, RecoveryStats, error) {
 	if err != nil {
 		return nil, rs, err
 	}
+	// Belt and braces for recovery invariant 4: if the on-disk WAL lost
+	// an un-fsynced tail the checkpoint already covers, its next index
+	// sits below the checkpoint's mark, and appends there would hand out
+	// indices the next recovery skips. Seal the log and resume at the
+	// mark. (Checkpoint's pre-manifest Barrier makes this unreachable for
+	// checkpoints this code writes; the guard covers older or foreign
+	// directories.)
+	if err := w.EnsureNextIndex(walFrom); err != nil {
+		w.Close()
+		return nil, rs, err
+	}
 	e.wal = w
+	e.walBuf = w
 	e.dwal = w
 	e.ckptDir = dir
 	e.keepCkpts = opts.KeepCheckpoints
@@ -306,6 +350,19 @@ func (e *Engine) Checkpoint(dir string) (CheckpointStats, error) {
 	trainLen := e.manifestTrainLen()
 	st.CaptureHold = time.Since(capture)
 	e.mu.RUnlock()
+
+	// Durability barrier: every record below hwm must be on disk before a
+	// manifest recording WALHWM=hwm becomes durable. Without it, buffered
+	// (SyncInterval/SyncNone) records below the mark can die in a crash;
+	// the reopened WAL would then hand post-restart actions indices below
+	// hwm, and the next recovery — replaying only from hwm — would drop
+	// them silently, even fsynced ones.
+	if b, ok := e.wal.(walBarrier); ok {
+		if err := b.Barrier(); err != nil {
+			e.metrics.Counter("engine/checkpoint/errors").Inc()
+			return st, fmt.Errorf("repro: WAL barrier before checkpoint: %w", err)
+		}
+	}
 
 	res, err := durable.WriteCheckpoint(dir, durable.CheckpointMeta{
 		WALHWM:         hwm,

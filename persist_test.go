@@ -1,12 +1,15 @@
 package repro
 
 import (
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/gen"
 )
 
@@ -446,6 +449,103 @@ func (l *countingLog) Append(a Action) (uint64, error) {
 
 func (l *countingLog) NextIndex() uint64 { return l.n }
 
+// TestCheckpointBarriersWAL pins the manifest/WAL ordering invariant: by
+// the time a manifest recording WALHWM is durably installed, every
+// record below that mark must be present in the on-disk WAL — even
+// under sync policies that buffer appends in memory. Without the
+// barrier, SyncNone leaves the records in the bufio buffer and this
+// replay (the same read recovery does) ends below the mark.
+func TestCheckpointBarriersWAL(t *testing.T) {
+	fx := newPersistFixture(t)
+	dir := t.TempDir()
+	e, _, err := OpenEngine(dir, OpenOptions{Engine: fx.opts, Dataset: fx.ds, WALSync: WALSyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	const n = 20
+	fx.feed(t, e, 0, n)
+	st, err := e.Checkpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WALHWM != n {
+		t.Fatalf("checkpoint HWM = %d, want %d", st.WALHWM, n)
+	}
+	rs, err := durable.ReplayWAL(dir, 0, func(uint64, Action) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.NextIndex < st.WALHWM {
+		t.Fatalf("on-disk WAL ends at %d, below the durable manifest's HWM %d", rs.NextIndex, st.WALHWM)
+	}
+}
+
+// TestOpenEngineWALBehindCheckpoint covers the other half of the HWM
+// partition guard: when the on-disk WAL ends below the newest
+// checkpoint's mark (a crash took an un-fsynced tail the checkpoint
+// already covers), recovery must not hand post-restart actions indices
+// below that mark — they would be invisible to the next recovery.
+func TestOpenEngineWALBehindCheckpoint(t *testing.T) {
+	fx := newPersistFixture(t)
+	dir := t.TempDir()
+	e, _, err := OpenEngine(dir, OpenOptions{Engine: fx.opts, Dataset: fx.ds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	fx.feed(t, e, 0, n)
+	if _, err := e.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the page-cache loss: drop the last 5 records (25 bytes
+	// each: 8-byte header + 17-byte payload) from the newest segment, so
+	// the on-disk log ends at index 15, below the checkpoint's HWM of 20.
+	seg := newestFile(t, dir, "wal-", ".seg")
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, fi.Size()-5*25); err != nil {
+		t.Fatal(err)
+	}
+
+	ropts := fx.opts
+	ropts.Train = nil
+	per, rs, err := OpenEngine(dir, OpenOptions{Engine: ropts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.WALRecords != 0 {
+		t.Fatalf("replayed %d WAL records below the checkpoint mark", rs.WALRecords)
+	}
+	// The lost tail was covered by the checkpoint, so the recovered state
+	// is complete; new actions must land at or above the mark.
+	fx.feed(t, per, n, n+3)
+	if err := per.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, rs2, err := OpenEngine(dir, OpenOptions{Engine: ropts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if rs2.WALRecords != 3 {
+		t.Fatalf("second recovery replayed %d WAL records, want 3 (post-restart actions lost below the mark)", rs2.WALRecords)
+	}
+	live, err := NewEngine(fx.ds, fx.opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx.feed(t, live, 0, n+3)
+	assertSameRecommendations(t, recommendAll(live, 10, fx.now), recommendAll(rec, 10, fx.now), "after behind-the-mark recovery")
+}
+
 // TestObserveWALHook pins WAL-before-apply: every accepted action is
 // appended exactly once, and an append failure leaves the engine state
 // untouched.
@@ -476,5 +576,50 @@ func TestObserveWALHook(t *testing.T) {
 	}
 	if got := len(e.ObservedActions()); got != 5 {
 		t.Fatalf("failed WAL append still mutated state: %d observed actions", got)
+	}
+}
+
+// degradedLog is an ActionLog whose appends report the record as logged
+// but not durable — the shape of a WAL whose rotation or fsync failed
+// after the record was written.
+type degradedLog struct {
+	countingLog
+	degrade bool
+}
+
+func (l *degradedLog) Append(a Action) (uint64, error) {
+	idx, err := l.countingLog.Append(a)
+	if err != nil || !l.degrade {
+		return idx, err
+	}
+	return idx, fmt.Errorf("%w: injected fault", ErrWALRecordLogged)
+}
+
+// TestObserveAppliesLoggedDegradedAction pins log-then-apply: when the
+// log reports the record written but degraded, Observe must apply the
+// action anyway (recovery may replay the logged record, and live state
+// must match what replay reconstructs) while surfacing an error that
+// wraps ErrWALRecordLogged.
+func TestObserveAppliesLoggedDegradedAction(t *testing.T) {
+	fx := newPersistFixture(t)
+	opts := fx.opts
+	log := &degradedLog{}
+	opts.WAL = log
+	e, err := NewEngine(fx.ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx.feed(t, e, 0, 3)
+	log.degrade = true
+	a := fx.test[3]
+	err = e.Observe(a.User, a.Tweet, a.Time)
+	if !errors.Is(err, ErrWALRecordLogged) {
+		t.Fatalf("Observe = %v, want an error wrapping ErrWALRecordLogged", err)
+	}
+	if got := len(e.ObservedActions()); got != 4 {
+		t.Fatalf("logged-but-degraded action was not applied: %d observed actions", got)
+	}
+	if got := e.Metrics().Counter("engine/wal/degraded_appends"); got != 1 {
+		t.Fatalf("engine/wal/degraded_appends = %d, want 1", got)
 	}
 }
