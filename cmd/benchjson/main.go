@@ -8,8 +8,15 @@
 //   - full similarity-graph build time, pairwise reference vs SimBatch
 //     kernel (best of -runs), verifying the edge sets are bit-identical;
 //   - construction throughput in edges/sec;
-//   - Engine.RefreshGraph cost split: graph build time (read-locked)
-//     vs exclusive write-lock hold for the recommender swap.
+//   - Engine.RefreshGraph cost split for every maintenance strategy
+//     (from-scratch, update-weights, crossfold, incremental): build
+//     time, read-lock write stall, exclusive lock hold, and the edge
+//     delta against the pre-refresh graph — each on a fresh engine fed
+//     the same -observe stream, so the dirty-set-driven incremental
+//     entry is directly comparable to the full rebuild;
+//   - a differential check that the incremental strategy's dirty users
+//     carry out-edges bit-identical to a from-scratch rebuild
+//     (incremental_exact_on_dirty).
 //
 // It also emits BENCH_propagation.json (see prop.go): the epoch-stamped
 // incremental propagation kernel vs the frozen reference on a streaming
@@ -40,6 +47,7 @@ type report struct {
 	GeneratedAt string `json:"generated_at"`
 	GoVersion   string `json:"go_version"`
 	CPUs        int    `json:"cpus"`
+	GoMaxProcs  int    `json:"gomaxprocs"`
 	Users       int    `json:"users"`
 	Seed        uint64 `json:"seed"`
 	Runs        int    `json:"runs"`
@@ -53,12 +61,27 @@ type report struct {
 		BitIdentical   bool    `json:"bit_identical"`
 	} `json:"build"`
 
-	Refresh struct {
-		Strategy        string  `json:"strategy"`
-		ObservedActions int     `json:"observed_actions"`
-		BuildMs         float64 `json:"build_ms"`
-		LockHoldMs      float64 `json:"lock_hold_ms"`
-	} `json:"refresh"`
+	// Refresh holds one entry per maintenance strategy, Figure 16 order.
+	Refresh []refreshEntry `json:"refresh"`
+
+	// IncrementalExactOnDirty records the library-level differential
+	// check: after the observe stream, every dirty user's out-edges under
+	// UpdateIncremental are bit-identical to a from-scratch rebuild.
+	IncrementalExactOnDirty bool `json:"incremental_exact_on_dirty"`
+}
+
+// refreshEntry is one strategy's RefreshGraph cost split, measured on a
+// fresh engine fed the same observe stream (best of -runs).
+type refreshEntry struct {
+	Strategy        string  `json:"strategy"`
+	ObservedActions int     `json:"observed_actions"`
+	BuildMs         float64 `json:"build_ms"`
+	WriteStallMs    float64 `json:"write_stall_ms"`
+	LockHoldMs      float64 `json:"lock_hold_ms"`
+	DirtyUsers      int     `json:"dirty_users"`
+	EdgesAdded      int     `json:"edges_added"`
+	EdgesRemoved    int     `json:"edges_removed"`
+	EdgesReweighted int     `json:"edges_reweighted"`
 }
 
 func main() {
@@ -90,6 +113,7 @@ func main() {
 	r.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
 	r.GoVersion = runtime.Version()
 	r.CPUs = runtime.NumCPU()
+	r.GoMaxProcs = runtime.GOMAXPROCS(0)
 	r.Users = *users
 	r.Seed = *seed
 	r.Runs = *runs
@@ -111,30 +135,23 @@ func main() {
 		log.Fatalf("kernel graph diverged from pairwise reference: %+v", simgraph.Diff(pairG, kernelG))
 	}
 
-	eng, err := repro.NewEngine(ds, repro.DefaultEngineOptions())
-	if err != nil {
-		log.Fatal(err)
-	}
 	n := *observe
 	if n > len(ds.Actions) {
 		n = len(ds.Actions)
 	}
-	for _, a := range ds.Actions[len(ds.Actions)-n:] {
-		if err := eng.Observe(a.User, a.Tweet, a.Time); err != nil {
-			log.Fatal(err)
-		}
+	strategies := []repro.UpdateStrategy{
+		repro.UpdateFromScratch,
+		repro.UpdateWeights,
+		repro.UpdateCrossfold,
+		repro.UpdateIncremental,
 	}
-	best := eng.RefreshGraphStats(repro.UpdateFromScratch)
-	for i := 1; i < *runs; i++ {
-		st := eng.RefreshGraphStats(repro.UpdateFromScratch)
-		if st.BuildTime+st.LockHold < best.BuildTime+best.LockHold {
-			best = st
-		}
+	for _, strat := range strategies {
+		r.Refresh = append(r.Refresh, measureRefresh(ds, strat, n, *runs))
 	}
-	r.Refresh.Strategy = repro.UpdateFromScratch.String()
-	r.Refresh.ObservedActions = n
-	r.Refresh.BuildMs = ms(best.BuildTime)
-	r.Refresh.LockHoldMs = ms(best.LockHold)
+	r.IncrementalExactOnDirty = incrementalExactOnDirty(ds, n)
+	if !r.IncrementalExactOnDirty {
+		log.Fatal("incremental update diverged from the from-scratch rebuild on dirty users")
+	}
 
 	buf, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
@@ -146,8 +163,23 @@ func main() {
 	}
 	fmt.Printf("build: %d edges, kernel %.1fms vs pairwise %.1fms (%.1fx), %.0f edges/sec\n",
 		r.Build.Edges, r.Build.KernelMs, r.Build.PairwiseMs, r.Build.Speedup, r.Build.EdgesPerSecond)
-	fmt.Printf("refresh(%s): build %.1fms read-locked, write lock held %.2fms\n",
-		r.Refresh.Strategy, r.Refresh.BuildMs, r.Refresh.LockHoldMs)
+	var scratch, incr refreshEntry
+	for _, e := range r.Refresh {
+		fmt.Printf("refresh(%s): build %.1fms, write stall %.1fms, write lock held %.2fms, dirty=%d, Δedges +%d/-%d/~%d\n",
+			e.Strategy, e.BuildMs, e.WriteStallMs, e.LockHoldMs,
+			e.DirtyUsers, e.EdgesAdded, e.EdgesRemoved, e.EdgesReweighted)
+		switch e.Strategy {
+		case repro.UpdateFromScratch.String():
+			scratch = e
+		case repro.UpdateIncremental.String():
+			incr = e
+		}
+	}
+	if incr.WriteStallMs > 0 {
+		fmt.Printf("incremental vs from-scratch: write stall %.1fx, build %.1fx (exact on %d dirty users: %v)\n",
+			scratch.WriteStallMs/incr.WriteStallMs, scratch.BuildMs/incr.BuildMs,
+			incr.DirtyUsers, r.IncrementalExactOnDirty)
+	}
 	fmt.Printf("wrote %s\n", *out)
 
 	var tracked []repro.UserID
@@ -157,6 +189,70 @@ func main() {
 	ctx := recsys.NewContext(ds, ds.Actions, tracked, *seed)
 	propagationBench(*propNodes, *propDeg, *propTweets, *propPerTweet, *runs, *seed,
 		ds, ctx, kernelG, *observe, *propOut)
+}
+
+// measureRefresh times one strategy's RefreshGraph, best of runs. Every
+// run gets a fresh engine fed the same observe stream: a refresh both
+// consumes the store's dirty set and swaps the recommender, so reusing
+// an engine would hand later runs (and later strategies) a workload the
+// first refresh already absorbed.
+func measureRefresh(ds *dataset.Dataset, strategy repro.UpdateStrategy, n, runs int) refreshEntry {
+	var best repro.RefreshStats
+	for i := 0; i < runs; i++ {
+		eng, err := repro.NewEngine(ds, repro.DefaultEngineOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, a := range ds.Actions[len(ds.Actions)-n:] {
+			if err := eng.Observe(a.User, a.Tweet, a.Time); err != nil {
+				log.Fatal(err)
+			}
+		}
+		st := eng.RefreshGraphStats(strategy)
+		if i == 0 || st.WriteStall+st.LockHold < best.WriteStall+best.LockHold {
+			best = st
+		}
+	}
+	return refreshEntry{
+		Strategy:        best.Strategy.String(),
+		ObservedActions: n,
+		BuildMs:         ms(best.BuildTime),
+		WriteStallMs:    ms(best.WriteStall),
+		LockHoldMs:      ms(best.LockHold),
+		DirtyUsers:      best.DirtyUsers,
+		EdgesAdded:      best.EdgesAdded,
+		EdgesRemoved:    best.EdgesRemoved,
+		EdgesReweighted: best.EdgesReweighted,
+	}
+}
+
+// incrementalExactOnDirty replays the benchmark's observe stream at the
+// library level and verifies the Incremental contract: every dirty
+// user's out-edge run under UpdateIncremental is bit-identical to a
+// from-scratch Build over the refreshed profiles.
+func incrementalExactOnDirty(ds *dataset.Dataset, n int) bool {
+	store := similarity.NewStore(ds.NumUsers(), ds.NumTweets(), ds.Actions)
+	cfg := simgraph.DefaultConfig()
+	prev := simgraph.Build(ds.Graph, store, cfg)
+	for _, a := range ds.Actions[len(ds.Actions)-n:] {
+		store.Observe(a.User, a.Tweet)
+	}
+	dirty := store.DrainDirty(nil)
+	inc := simgraph.UpdateIncremental(prev, ds.Graph, store, dirty, cfg)
+	fs := simgraph.Build(ds.Graph, store, cfg)
+	for _, u := range dirty {
+		iTo, iW := inc.Out(u)
+		fTo, fW := fs.Out(u)
+		if len(iTo) != len(fTo) {
+			return false
+		}
+		for i := range iTo {
+			if iTo[i] != fTo[i] || iW[i] != fW[i] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // timedBuild builds the graph runs times and returns it with the best

@@ -21,6 +21,7 @@
 //	serveload [-users 5000] [-seed 1] [-load ds.bin] [-readers 8]
 //	          [-duration 10s] [-k 10] [-postpone] [-diverse]
 //	          [-debug 127.0.0.1:6060] [-refresh-every 0]
+//	          [-refresh-strategy update-weights]
 //	          [-wal-dir DIR] [-wal-sync interval] [-checkpoint-every 0]
 package main
 
@@ -56,7 +57,8 @@ func main() {
 		postpone = flag.Bool("postpone", false, "enable the postponed-propagation scheduler")
 		diverse  = flag.Bool("diverse", false, "readers call RecommendDiverse instead of Recommend")
 		debug    = flag.String("debug", "", "serve /debug/metrics and /debug/pprof on this address (e.g. 127.0.0.1:6060)")
-		refresh  = flag.Duration("refresh-every", 0, "run RefreshGraph(UpdateWeights) on this wall-clock period (0 = never)")
+		refresh  = flag.Duration("refresh-every", 0, "run RefreshGraph on this wall-clock period (0 = never)")
+		strategy = flag.String("refresh-strategy", "update-weights", "maintenance strategy for -refresh-every: from-scratch, keep-old, crossfold, update-weights, or incremental")
 		walDir   = flag.String("wal-dir", "", "durability directory: WAL every Observe and recover from it on start")
 		walSync  = flag.String("wal-sync", "interval", "WAL fsync policy: always, interval, or none")
 		ckEvery  = flag.Duration("checkpoint-every", 0, "background checkpoint period into -wal-dir (0 = never)")
@@ -199,10 +201,17 @@ func main() {
 		}(r)
 	}
 
-	// Refresher: periodically rebuild the SimGraph under load, the way a
-	// production deployment would cycle UpdateWeights. Exercises the
-	// bounded replay/compaction path and its lock-hold histogram.
+	// Refresher: periodically rebuild or repair the SimGraph under load,
+	// the way a production deployment would cycle its chosen maintenance
+	// strategy. Exercises the bounded replay/compaction path and the
+	// write-stall and lock-hold histograms; with -refresh-strategy
+	// incremental the per-pass cost tracks the dirty-set size.
 	if *refresh > 0 {
+		strat, err := repro.ParseUpdateStrategy(*strategy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("refresher: strategy=%q every %v", strat, *refresh)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -213,10 +222,13 @@ func main() {
 				case <-stop:
 					return
 				case <-tick.C:
-					st := eng.RefreshGraphStats(repro.UpdateWeights)
-					log.Printf("refresh: build=%v lock=%v replayed=%d compacted=%d",
+					st := eng.RefreshGraphStats(strat)
+					log.Printf("refresh(%s): build=%v write-stall=%v lock=%v dirty=%d Δedges=+%d/-%d/~%d replayed=%d compacted=%d",
+						st.Strategy,
 						st.BuildTime.Round(time.Millisecond),
+						st.WriteStall.Round(time.Microsecond),
 						st.LockHold.Round(time.Microsecond),
+						st.DirtyUsers, st.EdgesAdded, st.EdgesRemoved, st.EdgesReweighted,
 						st.Replayed, st.Compacted)
 				}
 			}

@@ -37,7 +37,13 @@ const (
 	UpdateKeepOld     = simgraph.KeepOld
 	UpdateCrossfold   = simgraph.Crossfold
 	UpdateWeights     = simgraph.UpdateWeights
+	UpdateIncremental = simgraph.Incremental
 )
+
+// ParseUpdateStrategy resolves a flag spelling ("from-scratch",
+// "keep-old", "crossfold", "update-weights", "incremental") to a
+// strategy; re-exported from internal/simgraph for tooling.
+var ParseUpdateStrategy = simgraph.ParseUpdateStrategy
 
 // EngineOptions configures an Engine. The zero value is NOT valid; start
 // from DefaultEngineOptions.
@@ -80,6 +86,17 @@ type EngineOptions struct {
 	// order equals the apply order (WAL-before-apply). OpenEngine installs
 	// the durable WAL here; leave nil for a purely in-memory engine.
 	WAL ActionLog
+	// RefreshEvery, when positive, starts a background refresher (like
+	// the checkpointer) that runs RefreshGraph on this period with
+	// RefreshStrategy, so the similarity graph tracks the stream without
+	// any caller-driven refresh loop. A pass whose strategy is
+	// UpdateIncremental is skipped outright when no profile changed since
+	// the previous refresh (the dirty set is empty). Stop it with Close.
+	RefreshEvery time.Duration
+	// RefreshStrategy is the maintenance strategy the background
+	// refresher uses. The zero value is UpdateFromScratch; deployments
+	// chasing the write-stall bound want UpdateIncremental.
+	RefreshStrategy UpdateStrategy
 }
 
 // DefaultEngineOptions returns the configuration used in the paper's
@@ -155,6 +172,16 @@ type Engine struct {
 	ckptDone  chan struct{}
 	closeOnce sync.Once
 
+	// refreshMu serializes RefreshGraphStats calls: the replay phase runs
+	// without the engine lock against a snapshot of the observed log, and
+	// a concurrent refresh's compaction would mutate that snapshot's
+	// backing array. Concurrent refreshes were always wasted work; now
+	// they queue. refreshStop/refreshDone are the background refresher's
+	// lifecycle (EngineOptions.RefreshEvery), stopped by Close.
+	refreshMu   sync.Mutex
+	refreshStop chan struct{}
+	refreshDone chan struct{}
+
 	// metrics is the engine-wide instrument registry: the engine/* series
 	// resolved below, the recommender's rec/* series (shared through
 	// RecommenderConfig.Metrics so counters survive refresh swaps), and
@@ -163,8 +190,14 @@ type Engine struct {
 	metrics       *metrics.Registry
 	mRecommendLat *metrics.Histogram // engine/recommend/latency_ns
 	mObserveLat   *metrics.Histogram // engine/observe/latency_ns (lock hold + durability wait)
-	mRefreshBuild *metrics.Histogram // engine/refresh/build_ns (read-locked phase)
-	mRefreshLock  *metrics.Histogram // engine/refresh/lock_hold_ns (exclusive swap+replay)
+	mRefreshBuild *metrics.Histogram // engine/refresh/build_ns (graph construction)
+	mRefreshLock  *metrics.Histogram // engine/refresh/lock_hold_ns (exclusive delta-replay+swap)
+	mWriteStall   *metrics.Histogram // engine/refresh/write_stall_ns (read-locked phase; writers excluded)
+	mDirtyUsers   *metrics.Counter   // engine/refresh/dirty_users (incremental re-scores)
+	mEdgesAdded   *metrics.Counter   // engine/refresh/edges_added
+	mEdgesRemoved *metrics.Counter   // engine/refresh/edges_removed
+	mEdgesReweigh *metrics.Counter   // engine/refresh/edges_reweighted
+	mRefreshSkips *metrics.Counter   // engine/refresh/skipped_clean (background passes with no dirty users)
 	mRecommends   *metrics.Counter   // engine/recommend/requests
 	mColdStarts   *metrics.Counter   // engine/recommend/cold_start_fallbacks
 	mObserves     *metrics.Counter   // engine/observe/actions
@@ -186,6 +219,7 @@ func NewEngine(ds *Dataset, opts EngineOptions) (*Engine, error) {
 	if err := e.rec.Init(e.ctx); err != nil {
 		return nil, err
 	}
+	e.maybeStartRefresher()
 	return e, nil
 }
 
@@ -223,6 +257,12 @@ func newEngineCore(ds *Dataset, opts EngineOptions) (*Engine, error) {
 	e.mObserveLat = e.metrics.Histogram("engine/observe/latency_ns")
 	e.mRefreshBuild = e.metrics.Histogram("engine/refresh/build_ns")
 	e.mRefreshLock = e.metrics.Histogram("engine/refresh/lock_hold_ns")
+	e.mWriteStall = e.metrics.Histogram("engine/refresh/write_stall_ns")
+	e.mDirtyUsers = e.metrics.Counter("engine/refresh/dirty_users")
+	e.mEdgesAdded = e.metrics.Counter("engine/refresh/edges_added")
+	e.mEdgesRemoved = e.metrics.Counter("engine/refresh/edges_removed")
+	e.mEdgesReweigh = e.metrics.Counter("engine/refresh/edges_reweighted")
+	e.mRefreshSkips = e.metrics.Counter("engine/refresh/skipped_clean")
 	e.mRecommends = e.metrics.Counter("engine/recommend/requests")
 	e.mColdStarts = e.metrics.Counter("engine/recommend/cold_start_fallbacks")
 	e.mObserves = e.metrics.Counter("engine/observe/actions")
@@ -500,79 +540,188 @@ func (e *Engine) Similarity(u, v UserID) float64 {
 
 // RefreshStats reports the cost split of one RefreshGraph call: the
 // expensive graph construction (which runs under the read lock, so
-// recommendation traffic keeps flowing) versus the brief exclusive
-// section that swaps the recommender in. LockHold is the serving-latency
-// budget a refresh actually costs readers.
+// recommendation traffic keeps flowing but writers stall — WriteStall),
+// the unlocked replay of the observed-log snapshot, and the brief
+// exclusive section that folds in the delta and swaps the recommender.
+// LockHold is the serving-latency budget a refresh actually costs
+// readers; WriteStall is what it costs writers.
 type RefreshStats struct {
-	// BuildTime is the similarity-graph construction time (read-locked).
+	// Strategy is the maintenance strategy this refresh ran.
+	Strategy UpdateStrategy
+	// BuildTime is the similarity-graph construction time alone. For the
+	// Incremental strategy it tracks the dirty-set's activity mass (only
+	// dirty users are re-explored) and runs outside every engine lock, so
+	// it stalls nobody.
 	BuildTime time.Duration
-	// LockHold is how long the exclusive write lock was held for the swap
-	// and the replay of streamed actions. The replay is bounded to the
-	// freshness horizon (see RefreshGraphStats), so LockHold scales with
-	// the live window, not the total stream length.
+	// WriteStall is the total read-lock hold. Readers proceed throughout,
+	// but Observe is excluded for this long. For the one-shot strategies
+	// this covers the whole graph construction plus the observed-log
+	// snapshot copy; for UpdateIncremental the construction happens after
+	// the lock is released (against a store snapshot), so writers stall
+	// only for the dirty-set drain and the two snapshot copies — the
+	// O(all-users) refresh stall this strategy exists to kill.
+	WriteStall time.Duration
+	// LockHold is how long the exclusive write lock was held: replaying
+	// the handful of actions that arrived during the unlocked snapshot
+	// replay, compacting the observed log, and swapping the recommender.
+	// The bulk replay happens before this lock is taken, so LockHold
+	// scales with the refresh-window delta, not the live window.
 	LockHold time.Duration
 	// Edges is the edge count of the installed graph.
 	Edges int
 	// Replayed is how many observed actions were replayed into the new
 	// recommender — the actions on tweets still inside the freshness
-	// horizon.
+	// horizon (snapshot replay plus the exclusive delta replay).
 	Replayed int
 	// Compacted is how many expired actions this refresh dropped from the
 	// observed log.
 	Compacted int
+	// DirtyUsers is how many users the incremental strategy re-scored
+	// (the drained dirty set); zero for the other strategies.
+	DirtyUsers int
+	// EdgesAdded/EdgesRemoved/EdgesReweighted are the simgraph.Diff of
+	// the installed graph against its predecessor.
+	EdgesAdded      int
+	EdgesRemoved    int
+	EdgesReweighted int
 }
 
 // RefreshGraph rebuilds or repairs the similarity graph with one of the
-// paper's §6.3 strategies, folding in every action observed since
-// construction. The recommender keeps its pooled candidates. Readers
-// observe either the old or the new graph, never a half-built one.
+// paper's §6.3 strategies (or the Incremental strategy), folding in every
+// action observed since construction. The recommender keeps its pooled
+// candidates. Readers observe either the old or the new graph, never a
+// half-built one.
 //
-// The heavy construction runs under the read lock — it excludes writers
-// (the profile store stays stable) but recommendation reads proceed
-// throughout — and only the recommender swap plus the replay of streamed
-// actions holds the exclusive lock. Retweets observed between the two
-// phases are folded into the new recommender's pools by the replay; they
-// appear as graph edges on the next refresh, exactly as actions streamed
-// after a fully-locked rebuild would have.
+// The refresh runs in three phases. Phase one holds the READ lock —
+// recommendation reads proceed throughout, but Observe (a writer) is
+// excluded so the profile store stays stable; that write-side stall is
+// the RLock-excludes-writers contract RefreshStats reports as
+// WriteStall. The one-shot strategies construct the whole graph inside
+// this phase; UpdateIncremental instead drains the dirty set and clones
+// the store, then re-scores the dirty users against that snapshot with
+// no lock held — writers stall for a copy, not a build. The bulk replay
+// of observed actions likewise runs with NO engine lock against a
+// snapshot of the log, and only the delta replay plus the recommender
+// swap holds the exclusive lock. Retweets observed during any unlocked
+// stretch are folded into the new recommender's pools by the delta
+// replay and re-marked dirty in the live store; they appear as graph
+// edges on the next refresh, exactly as actions streamed after a
+// fully-locked rebuild would have.
 func (e *Engine) RefreshGraph(strategy UpdateStrategy) {
 	e.RefreshGraphStats(strategy)
 }
 
 // RefreshGraphStats is RefreshGraph returning its cost split.
 //
-// The exclusive section replays only the actions whose tweet is still
-// inside the freshness horizon (published within MaxAge of the newest
-// observed action) and compacts the observed log to that suffix. Older
-// actions cannot influence the new recommender: their tweets can neither
-// create propagation state (Recommender.Observe stale-drops them and
-// resolveLocked refuses expired state) nor surface as pool candidates
-// (TopK evicts past the horizon), and since every retweet postdates its
-// tweet's publication, dropping by tweet age also keeps every
-// already-shared mark that could still matter. This bounds LockHold by
-// the live-window size instead of the total stream length — previously
-// the "brief swap" replayed the entire unbounded log under the write
-// lock and eventually stalled all readers.
+// The replay covers only the actions whose tweet is still inside the
+// freshness horizon (published within MaxAge of the newest observed
+// action), and the exclusive section compacts the observed log to that
+// suffix. Older actions cannot influence the new recommender: their
+// tweets can neither create propagation state (Recommender.Observe
+// stale-drops them and resolveLocked refuses expired state) nor surface
+// as pool candidates (TopK evicts past the horizon), and since every
+// retweet postdates its tweet's publication, dropping by tweet age also
+// keeps every already-shared mark that could still matter. This bounds
+// the total replay by the live-window size — and because the bulk of it
+// runs unlocked against a snapshot, LockHold covers only the actions
+// that arrived while that snapshot replayed (typically none to a few).
+//
+// Strategy-specific dirty-set handling: Incremental drains the store's
+// dirty set under the read lock and re-scores exactly those users;
+// FromScratch also drains it (the full rebuild covers every pending
+// user); KeepOld, Crossfold and UpdateWeights leave it intact, so the
+// pending users are still repaired by a later incremental pass.
+//
+// Concurrent RefreshGraphStats calls serialize on refreshMu: the
+// unlocked replay phase reads a snapshot whose backing array a second
+// refresh's compaction would otherwise mutate.
 func (e *Engine) RefreshGraphStats(strategy UpdateStrategy) RefreshStats {
+	e.refreshMu.Lock()
+	defer e.refreshMu.Unlock()
 	var st RefreshStats
-	start := time.Now()
-	e.mu.RLock()
-	g := simgraph.Update(strategy, e.rec.Graph(), e.ds.Graph, e.store, e.recommenderConfig().Graph)
-	e.mu.RUnlock()
-	st.BuildTime = time.Since(start)
-	st.Edges = g.NumEdges()
+	st.Strategy = strategy
 
-	e.mu.Lock()
-	locked := time.Now()
+	// Phase 1 — read lock. For the one-shot strategies the graph is built
+	// here: writers (Observe) stall for the whole construction; readers
+	// keep flowing. The Incremental strategy instead only drains the dirty
+	// set and clones the profile store under the lock — the build itself
+	// runs against that snapshot after RUnlock, so writers stall for an
+	// O(store) copy instead of the construction. Actions observed while
+	// the snapshot build runs mutate only the live store and re-mark their
+	// users dirty, so the next incremental pass repairs them — the same
+	// next-refresh contract every post-build action already has.
+	e.mu.RLock()
+	start := time.Now()
+	prev := e.rec.Graph()
+	var g *wgraph.Graph
+	var dirty []ids.UserID
+	var snapStore *similarity.Store
+	switch strategy {
+	case UpdateIncremental:
+		dirty = e.store.DrainDirty(nil)
+		st.DirtyUsers = len(dirty)
+		if len(dirty) > 0 {
+			snapStore = e.store.Clone()
+		}
+	case UpdateFromScratch:
+		e.store.DrainDirty(nil) // the full rebuild covers every pending dirty user
+		g = simgraph.Update(strategy, prev, e.ds.Graph, e.store, e.recommenderConfig().Graph)
+	default:
+		g = simgraph.Update(strategy, prev, e.ds.Graph, e.store, e.recommenderConfig().Graph)
+	}
+	if g != nil {
+		st.BuildTime = time.Since(start)
+	}
+	// Snapshot the observed log so the bulk replay can run unlocked: a
+	// private copy, because Observe appends (growing the backing array is
+	// fine) but the exclusive phase's compaction rewrites it in place.
+	snap := append([]Action(nil), e.observed...)
+	snapNewest := e.observedNewest
+	e.mu.RUnlock()
+	st.WriteStall = time.Since(start)
+	if g == nil {
+		// Incremental: re-score the dirty users' neighbourhoods against the
+		// store snapshot with no engine lock held. With an empty dirty set
+		// the previous graph is provably still exact and is kept as-is.
+		built := time.Now()
+		if snapStore != nil {
+			g = simgraph.UpdateIncremental(prev, e.ds.Graph, snapStore, dirty, e.recommenderConfig().Graph)
+		} else {
+			g = prev
+		}
+		st.BuildTime = time.Since(built)
+	}
+	st.Edges = g.NumEdges()
+	d := simgraph.Diff(prev, g)
+	st.EdgesAdded, st.EdgesRemoved, st.EdgesReweighted = d.EdgesAdded, d.EdgesRemoved, d.EdgesReweighted
+
+	// Phase 2 — no engine lock: build a fresh recommender on the new
+	// graph and replay the snapshot's live window into its private pools.
 	rec := simgraph.NewRecommender(e.recommenderConfig())
 	rec.InitWithGraph(e.ctx, g)
-	// Compact, then replay the live suffix so seeds/pools carry over —
-	// including anything that arrived while the graph was building.
-	live, dropped := e.compactObservedLocked()
-	for _, a := range live {
-		rec.Observe(a)
+	cutoff := snapNewest - e.opts.MaxAge
+	replayed := 0
+	for _, a := range snap {
+		if e.ds.Tweets[a.Tweet].Time >= cutoff {
+			rec.Observe(a)
+			replayed++
+		}
 	}
+
+	// Phase 3 — exclusive: fold in the actions that arrived during the
+	// unlocked replay, compact the log, install the recommender.
+	e.mu.Lock()
+	locked := time.Now()
+	cutoff = e.observedNewest - e.opts.MaxAge
+	for _, a := range e.observed[len(snap):] {
+		if e.ds.Tweets[a.Tweet].Time >= cutoff {
+			rec.Observe(a)
+			replayed++
+		}
+	}
+	_, dropped := e.compactObservedLocked()
 	e.rec = rec
-	st.Replayed = len(live)
+	st.Replayed = replayed
 	st.Compacted = dropped
 	st.LockHold = time.Since(locked)
 	e.mu.Unlock()
@@ -580,9 +729,53 @@ func (e *Engine) RefreshGraphStats(strategy UpdateStrategy) RefreshStats {
 	e.mRefreshes.Inc()
 	e.mRefreshBuild.ObserveDuration(st.BuildTime)
 	e.mRefreshLock.ObserveDuration(st.LockHold)
+	e.mWriteStall.ObserveDuration(st.WriteStall)
 	e.mReplayed.Add(uint64(st.Replayed))
 	e.mCompacted.Add(uint64(st.Compacted))
+	e.mDirtyUsers.Add(uint64(st.DirtyUsers))
+	e.mEdgesAdded.Add(uint64(st.EdgesAdded))
+	e.mEdgesRemoved.Add(uint64(st.EdgesRemoved))
+	e.mEdgesReweigh.Add(uint64(st.EdgesReweighted))
 	return st
+}
+
+// maybeStartRefresher starts the background refresher when the options
+// ask for one (RefreshEvery > 0). Mirrors the checkpointer's lifecycle:
+// a ticker goroutine stopped by Close.
+func (e *Engine) maybeStartRefresher() {
+	if e.opts.RefreshEvery <= 0 {
+		return
+	}
+	e.refreshStop = make(chan struct{})
+	e.refreshDone = make(chan struct{})
+	go e.refresherLoop(e.opts.RefreshEvery, e.opts.RefreshStrategy)
+}
+
+// refresherLoop runs RefreshGraph on a ticker until Close. Incremental
+// passes are skipped while the dirty set is empty — no profile changed,
+// so the graph could not have moved and the refresh would only churn
+// the recommender swap (counted by engine/refresh/skipped_clean).
+func (e *Engine) refresherLoop(every time.Duration, strategy UpdateStrategy) {
+	defer close(e.refreshDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.refreshStop:
+			return
+		case <-t.C:
+			if strategy == UpdateIncremental {
+				e.mu.RLock()
+				clean := e.store.DirtyCount() == 0
+				e.mu.RUnlock()
+				if clean {
+					e.mRefreshSkips.Inc()
+					continue
+				}
+			}
+			e.RefreshGraph(strategy)
+		}
+	}
 }
 
 // compactObservedLocked drops every observed action whose tweet has aged

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/ids"
@@ -154,6 +155,39 @@ func TestEngineConcurrentRefreshGraph(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
+}
+
+// TestEngineConcurrentBackgroundIncrementalRefresh races the background
+// incremental refresher (EngineOptions.RefreshEvery) against the full
+// read surface and a streaming writer, then stops it with Close. Run
+// under -race: the refresher drains the dirty set under the read lock,
+// replays a log snapshot with no lock, and swaps exclusively — every
+// phase must coexist with Observe and Recommend traffic.
+func TestEngineConcurrentBackgroundIncrementalRefresh(t *testing.T) {
+	ds := testDataset(t)
+	train, test, err := SplitDataset(ds, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultEngineOptions()
+	opts.Train = train
+	opts.RefreshEvery = 2 * time.Millisecond
+	opts.RefreshStrategy = UpdateIncremental
+	eng, err := NewEngine(ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := test[len(test)-1].Time
+	runReadersAgainstWriter(t, eng, test, now, 4)
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The refresher is down; a manual incremental refresh still works and
+	// covers whatever the last tick had not drained yet.
+	st := eng.RefreshGraphStats(UpdateIncremental)
+	if st.Strategy != UpdateIncremental {
+		t.Errorf("Strategy = %v, want %v", st.Strategy, UpdateIncremental)
+	}
 }
 
 // coldStartWorld hand-builds the smallest dataset where the cold-start

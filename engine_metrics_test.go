@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/wgraph"
@@ -215,6 +216,107 @@ func TestRefreshKeepsServingAfterCompaction(t *testing.T) {
 				t.Fatalf("stale tweet %d served after refresh", r.Tweet)
 			}
 		}
+	}
+}
+
+// TestRefreshStatsIncremental pins the incremental-refresh observability
+// surface: the stats report the drained dirty set, the write-stall
+// duration (total RLock hold), and the Diff of the installed graph; the
+// engine/refresh/* metrics mirror the struct; and an immediately
+// repeated incremental refresh is a no-op (the dirty set was consumed).
+func TestRefreshStatsIncremental(t *testing.T) {
+	ds := testDataset(t)
+	train, test, err := SplitDataset(ds, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultEngineOptions()
+	opts.Train = train
+	eng, err := NewEngine(ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range test {
+		if err := eng.Observe(a.User, a.Tweet, a.Time); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := eng.RefreshGraphStats(UpdateIncremental)
+	if st.Strategy != UpdateIncremental {
+		t.Errorf("Strategy = %v, want %v", st.Strategy, UpdateIncremental)
+	}
+	if st.DirtyUsers == 0 {
+		t.Fatal("streaming the test split marked no dirty users")
+	}
+	if st.WriteStall <= 0 || st.BuildTime <= 0 {
+		t.Errorf("WriteStall %v / BuildTime %v: both phases must be timed", st.WriteStall, st.BuildTime)
+	}
+
+	snap := eng.Metrics()
+	if got := snap.Histogram("engine/refresh/write_stall_ns").Count; got != 1 {
+		t.Errorf("write_stall count = %d, want 1", got)
+	}
+	if got := snap.Counter("engine/refresh/dirty_users"); got != uint64(st.DirtyUsers) {
+		t.Errorf("dirty_users counter = %d, want %d", got, st.DirtyUsers)
+	}
+	if got := snap.Counter("engine/refresh/edges_added"); got != uint64(st.EdgesAdded) {
+		t.Errorf("edges_added counter = %d, want %d", got, st.EdgesAdded)
+	}
+	if got := snap.Counter("engine/refresh/edges_removed"); got != uint64(st.EdgesRemoved) {
+		t.Errorf("edges_removed counter = %d, want %d", got, st.EdgesRemoved)
+	}
+	if got := snap.Counter("engine/refresh/edges_reweighted"); got != uint64(st.EdgesReweighted) {
+		t.Errorf("edges_reweighted counter = %d, want %d", got, st.EdgesReweighted)
+	}
+
+	// The refresh consumed the dirty set: repeating it without new
+	// observes re-scores nobody and leaves the graph untouched.
+	st2 := eng.RefreshGraphStats(UpdateIncremental)
+	if st2.DirtyUsers != 0 {
+		t.Errorf("second refresh re-scored %d users from a drained set", st2.DirtyUsers)
+	}
+	if st2.EdgesAdded != 0 || st2.EdgesRemoved != 0 || st2.EdgesReweighted != 0 {
+		t.Errorf("second refresh changed the graph: %+v", st2)
+	}
+	if st2.Edges != st.Edges {
+		t.Errorf("second refresh edge count %d, want %d", st2.Edges, st.Edges)
+	}
+
+	// One new observe re-dirties only that action's co-retweeter set.
+	a := test[0]
+	if err := eng.Observe(a.User, a.Tweet, a.Time); err != nil {
+		t.Fatal(err)
+	}
+	st3 := eng.RefreshGraphStats(UpdateIncremental)
+	if st3.DirtyUsers == 0 || st3.DirtyUsers >= st.DirtyUsers {
+		t.Errorf("third refresh dirty users = %d, want small nonzero (first pass had %d)", st3.DirtyUsers, st.DirtyUsers)
+	}
+}
+
+// TestBackgroundRefresherSkipsClean pins the background refresher's
+// empty-dirty-set fast path: with nothing observed since the last
+// refresh, incremental ticks are counted as skipped and never swap the
+// recommender.
+func TestBackgroundRefresherSkipsClean(t *testing.T) {
+	ds := testDataset(t)
+	opts := DefaultEngineOptions()
+	opts.RefreshEvery = time.Millisecond
+	opts.RefreshStrategy = UpdateIncremental
+	eng, err := NewEngine(ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for eng.Metrics().Counter("engine/refresh/skipped_clean") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background refresher never ticked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := eng.Metrics().Counter("engine/refresh/count"); got != 0 {
+		t.Errorf("clean engine ran %d refreshes, want 0", got)
 	}
 }
 

@@ -1,0 +1,166 @@
+package simgraph
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/ids"
+	"repro/internal/similarity"
+	"repro/internal/wgraph"
+)
+
+// UpdateIncremental is the fifth maintenance strategy (Incremental): it
+// repairs prev using only the dirty users — the set similarity.Store
+// tracked across Observe calls — instead of re-scoring every user.
+//
+// Two passes feed a per-user CSR splice (wgraph.SpliceOuts):
+//
+//  1. Every dirty user's out-edge list is rebuilt exactly as Build would:
+//     the same 2-hop exploration of the follow graph, the same SimBatch
+//     kernel, the same tau/top-M selection. Dirty users' out-edges are
+//     therefore bit-identical to a from-scratch rebuild — the contract
+//     FuzzIncrementalUpdate pins.
+//
+//  2. Clean users keep their edge structure, but any existing edge
+//     pointing AT a dirty user is re-scored (its weight is stale: the
+//     dirty endpoint's profile or shared-tweet weights moved) and dropped
+//     if it fell below tau. Edges between two clean users are provably
+//     unchanged — a pair's similarity can only move if a shared tweet's
+//     weight or either profile moved, and either event marks both
+//     endpoints dirty — so copying them unexamined is exact, not an
+//     approximation. What a clean user does NOT get is new edges to
+//     dirty users that first crossed tau (or first entered its top-M)
+//     after the change; those appear when the clean user next becomes
+//     dirty itself or on the next full rebuild, mirroring how
+//     UpdateWeights never adds edges. See DESIGN.md §12.
+//
+// prev must have been built with the same cfg over the same follow
+// graph; dirty is consumed as a set (order-insensitive, duplicates and
+// out-of-range IDs ignored). An empty dirty set returns prev unchanged.
+// prev is never mutated.
+func UpdateIncremental(prev *wgraph.Graph, follow *graph.Graph, store *similarity.Store, dirty []ids.UserID, cfg Config) *wgraph.Graph {
+	cfg = cfg.withDefaults()
+	n := prev.NumNodes()
+	isDirty := make([]bool, n)
+	ds := make([]ids.UserID, 0, len(dirty))
+	for _, u := range dirty {
+		if int(u) < n && !isDirty[u] {
+			isDirty[u] = true
+			ds = append(ds, u)
+		}
+	}
+	if len(ds) == 0 {
+		return prev
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+
+	// Pass 1 — re-explore dirty users in parallel, same worker shape as
+	// Build but over the dirty list only.
+	dirtyRuns := make([]wgraph.OutRun, len(ds))
+	workers := cfg.Workers
+	if workers > len(ds) {
+		workers = len(ds)
+	}
+	var next int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	const block = 64
+	claim := func() (int, int) {
+		mu.Lock()
+		lo := int(next)
+		next += block
+		mu.Unlock()
+		hi := lo + block
+		if hi > len(ds) {
+			hi = len(ds)
+		}
+		return lo, hi
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			var sc buildScratch
+			for {
+				lo, hi := claim()
+				if lo >= len(ds) {
+					return
+				}
+				for i := lo; i < hi; i++ {
+					u := ds[i]
+					edges := appendEdgesFor(nil, follow, store, u, cfg, &sc)
+					run := wgraph.OutRun{From: u, To: make([]ids.UserID, len(edges)), W: make([]float32, len(edges))}
+					for j, e := range edges {
+						run.To[j] = e.To
+						run.W[j] = e.Weight
+					}
+					wgraph.SortRun(run)
+					dirtyRuns[i] = run
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Pass 2 — collect the clean users with at least one existing edge
+	// into the dirty set, then re-score exactly those targets per user
+	// with the same run-grouped SimBatch shape updateWeights uses.
+	seen := make([]bool, n)
+	var retouch []ids.UserID
+	for _, u := range ds {
+		from, _ := prev.In(u)
+		for _, v := range from {
+			if !isDirty[v] && !seen[v] {
+				seen[v] = true
+				retouch = append(retouch, v)
+			}
+		}
+	}
+	sort.Slice(retouch, func(i, j int) bool { return retouch[i] < retouch[j] })
+	retouchRuns := make([]wgraph.OutRun, len(retouch))
+	var sc similarity.BatchScratch
+	var cands []ids.UserID
+	var sims []float64
+	for i, v := range retouch {
+		to, w := prev.Out(v)
+		cands = cands[:0]
+		for _, t := range to {
+			if isDirty[t] {
+				cands = append(cands, t)
+			}
+		}
+		sims = store.SimBatch(v, cands, &sc, sims)
+		run := wgraph.OutRun{From: v, To: make([]ids.UserID, 0, len(to)), W: make([]float32, 0, len(to))}
+		ci := 0
+		for j, t := range to {
+			weight := w[j]
+			if isDirty[t] {
+				s := sims[ci]
+				ci++
+				if s < cfg.Tau {
+					continue // stale edge fell below the threshold
+				}
+				weight = float32(s)
+			}
+			run.To = append(run.To, t)
+			run.W = append(run.W, weight)
+		}
+		retouchRuns[i] = run
+	}
+
+	// Merge the two sorted, disjoint run lists and splice.
+	runs := make([]wgraph.OutRun, 0, len(dirtyRuns)+len(retouchRuns))
+	di, ti := 0, 0
+	for di < len(dirtyRuns) || ti < len(retouchRuns) {
+		switch {
+		case ti == len(retouchRuns) || (di < len(dirtyRuns) && dirtyRuns[di].From < retouchRuns[ti].From):
+			runs = append(runs, dirtyRuns[di])
+			di++
+		default:
+			runs = append(runs, retouchRuns[ti])
+			ti++
+		}
+	}
+	return wgraph.SpliceOuts(prev, runs)
+}

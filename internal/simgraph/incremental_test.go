@@ -1,0 +1,230 @@
+package simgraph
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/ids"
+	"repro/internal/similarity"
+	"repro/internal/wgraph"
+	"repro/internal/xrand"
+)
+
+// randIncrementalWorld generates a random follow graph plus profile
+// store, the shape the incremental differential tests exercise.
+func randIncrementalWorld(seed uint64, users, tweets, actions int) (*graph.Graph, *similarity.Store, *xrand.RNG) {
+	rng := xrand.New(seed)
+	gb := graph.NewBuilder(users, users*4)
+	gb.SetNumNodes(users)
+	for i := 0; i < users*4; i++ {
+		u, v := rng.Intn(users), rng.Intn(users)
+		if u != v {
+			gb.AddEdge(ids.UserID(u), ids.UserID(v))
+		}
+	}
+	var log []dataset.Action
+	for i := 0; i < actions; i++ {
+		log = append(log, dataset.Action{
+			User:  ids.UserID(rng.Intn(users)),
+			Tweet: ids.TweetID(rng.Intn(tweets)),
+			Time:  ids.Timestamp(i),
+		})
+	}
+	return gb.Build(), similarity.NewStore(users, tweets, log), rng
+}
+
+func sameRun(aTo []ids.UserID, aW []float32, bTo []ids.UserID, bW []float32) bool {
+	if len(aTo) != len(bTo) {
+		return false
+	}
+	for i := range aTo {
+		if aTo[i] != bTo[i] || aW[i] != bW[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkIncrementalContract verifies inc against the strategy's two
+// guarantees: every dirty user's out-run is bit-identical to the
+// from-scratch rebuild fs, and every clean user keeps its prev structure
+// except that edges into the dirty set are reweighted to the current
+// similarity (dropped below tau), with no new edges.
+func checkIncrementalContract(t *testing.T, prev, inc, fs *wgraph.Graph, store *similarity.Store, dirty []ids.UserID, cfg Config) {
+	t.Helper()
+	cfg = cfg.withDefaults()
+	isDirty := make([]bool, prev.NumNodes())
+	for _, u := range dirty {
+		isDirty[u] = true
+	}
+	for u := 0; u < prev.NumNodes(); u++ {
+		iTo, iW := inc.Out(ids.UserID(u))
+		if isDirty[u] {
+			fTo, fW := fs.Out(ids.UserID(u))
+			if !sameRun(iTo, iW, fTo, fW) {
+				t.Fatalf("dirty user %d: incremental %v/%v, from-scratch %v/%v", u, iTo, iW, fTo, fW)
+			}
+			continue
+		}
+		pTo, pW := prev.Out(ids.UserID(u))
+		// Clean user: inc's run must be prev's run minus dropped dirty
+		// targets, with dirty targets reweighted.
+		j := 0
+		for i, to := range pTo {
+			want := pW[i]
+			if isDirty[to] {
+				s := store.Sim(ids.UserID(u), to)
+				if s < cfg.Tau {
+					continue // must have been dropped
+				}
+				want = float32(s)
+			}
+			if j >= len(iTo) || iTo[j] != to || iW[j] != want {
+				t.Fatalf("clean user %d: edge %d→%d missing or wrong weight", u, u, to)
+			}
+			j++
+		}
+		if j != len(iTo) {
+			t.Fatalf("clean user %d gained edges: %v vs prev %v", u, iTo, pTo)
+		}
+	}
+}
+
+func TestUpdateIncrementalMatchesFromScratchOnDirty(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		g, store, rng := randIncrementalWorld(seed, 40, 60, 250)
+		cfg := DefaultConfig()
+		cfg.Tau = 1e-4
+		cfg.Workers = 1 + int(seed%4)
+		prev := Build(g, store, cfg)
+
+		// Stream a batch of actions, collecting the store's dirty set.
+		for i := 0; i < 30; i++ {
+			store.Observe(ids.UserID(rng.Intn(40)), ids.TweetID(rng.Intn(60)))
+		}
+		dirty := store.DrainDirty(nil)
+		if len(dirty) == 0 {
+			t.Fatalf("seed %d: observe stream marked nobody", seed)
+		}
+		inc := UpdateIncremental(prev, g, store, dirty, cfg)
+		fs := Build(g, store, cfg)
+		checkIncrementalContract(t, prev, inc, fs, store, dirty, cfg)
+	}
+}
+
+func TestUpdateIncrementalEmptyDirtyReturnsPrev(t *testing.T) {
+	g, store, _ := randIncrementalWorld(3, 20, 30, 120)
+	cfg := DefaultConfig()
+	cfg.Tau = 1e-4
+	prev := Build(g, store, cfg)
+	if got := UpdateIncremental(prev, g, store, nil, cfg); got != prev {
+		t.Error("empty dirty set did not return prev")
+	}
+	// Out-of-range and duplicate IDs are ignored, not fatal.
+	if got := UpdateIncremental(prev, g, store, []ids.UserID{9999}, cfg); got != prev {
+		t.Error("out-of-range-only dirty set did not return prev")
+	}
+}
+
+func TestUpdateIncrementalViaUpdateDrainsStore(t *testing.T) {
+	g, store, rng := randIncrementalWorld(5, 30, 40, 180)
+	cfg := DefaultConfig()
+	cfg.Tau = 1e-4
+	prev := Build(g, store, cfg)
+	for i := 0; i < 15; i++ {
+		store.Observe(ids.UserID(rng.Intn(30)), ids.TweetID(rng.Intn(40)))
+	}
+	if store.DirtyCount() == 0 {
+		t.Fatal("observe stream marked nobody")
+	}
+	inc := Update(Incremental, prev, g, store, cfg)
+	if store.DirtyCount() != 0 {
+		t.Errorf("Update(Incremental) left %d dirty users", store.DirtyCount())
+	}
+	if inc == prev {
+		t.Error("Update(Incremental) returned prev despite dirty users")
+	}
+}
+
+// A clean user's stale edge into the dirty set must be reweighted — and
+// dropped when the refreshed similarity falls below tau.
+func TestUpdateIncrementalReweightsReverseEdges(t *testing.T) {
+	// Follow graph 0→1; profiles: both retweet tweet 0 (m=2).
+	gb := graph.NewBuilder(3, 1)
+	gb.SetNumNodes(3)
+	gb.AddEdge(0, 1)
+	g := gb.Build()
+	store := similarity.NewStore(3, 10, []dataset.Action{
+		{User: 0, Tweet: 0, Time: 1},
+		{User: 1, Tweet: 0, Time: 2},
+	})
+	cfg := DefaultConfig()
+	cfg.Tau = 1e-6
+	prev := Build(g, store, cfg)
+	w0, ok := prev.Weight(0, 1)
+	if !ok {
+		t.Fatal("missing base edge 0→1")
+	}
+
+	// User 1 retweets new tweets: 1's profile grows (union inflates,
+	// sim(0,1) shrinks) and only {1} is dirtied by tweets nobody shares.
+	store.Observe(1, 5)
+	store.Observe(1, 6)
+	dirty := store.DrainDirty(nil)
+	if len(dirty) != 1 || dirty[0] != 1 {
+		t.Fatalf("dirty = %v, want [1]", dirty)
+	}
+	inc := UpdateIncremental(prev, g, store, dirty, cfg)
+	w1, ok := inc.Weight(0, 1)
+	if !ok {
+		t.Fatal("reverse edge 0→1 dropped despite sim above tau")
+	}
+	if w1 >= w0 {
+		t.Errorf("reverse edge not reweighted: %v -> %v", w0, w1)
+	}
+	if want := float32(store.Sim(0, 1)); w1 != want {
+		t.Errorf("reverse edge weight %v, want refreshed sim %v", w1, want)
+	}
+
+	// Raise tau beyond the refreshed similarity (the float64 value the
+	// kernel thresholds on, not its float32 rounding): the edge must go.
+	cfg2 := cfg
+	cfg2.Tau = store.Sim(0, 1) + 1e-12
+	inc2 := UpdateIncremental(prev, g, store, dirty, cfg2)
+	if _, ok := inc2.Weight(0, 1); ok {
+		t.Error("reverse edge survived a tau above its refreshed weight")
+	}
+}
+
+// FuzzIncrementalUpdate drives random observe streams and pins the
+// differential contract: dirty users' out-edges bit-identical to a full
+// rebuild, clean users untouched except reweighted/dropped edges into
+// the dirty set.
+func FuzzIncrementalUpdate(f *testing.F) {
+	f.Add(uint64(1), uint8(10))
+	f.Add(uint64(42), uint8(0))
+	f.Add(uint64(7), uint8(200))
+	f.Fuzz(func(t *testing.T, seed uint64, streamHint uint8) {
+		users := 10 + int(seed%30)
+		tweets := 15 + int(seed%40)
+		g, store, rng := randIncrementalWorld(seed, users, tweets, 6*users)
+		cfg := DefaultConfig()
+		cfg.Tau = 1e-4
+		cfg.Workers = 1 + int(seed%3)
+		prev := Build(g, store, cfg)
+		for i := 0; i < int(streamHint)%64; i++ {
+			store.Observe(ids.UserID(rng.Intn(users)), ids.TweetID(rng.Intn(tweets)))
+		}
+		dirty := store.DrainDirty(nil)
+		inc := UpdateIncremental(prev, g, store, dirty, cfg)
+		if len(dirty) == 0 {
+			if inc != prev {
+				t.Fatal("no dirty users but graph changed")
+			}
+			return
+		}
+		fs := Build(g, store, cfg)
+		checkIncrementalContract(t, prev, inc, fs, store, dirty, cfg)
+	})
+}

@@ -2,6 +2,7 @@ package simgraph
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/graph"
 	"repro/internal/ids"
@@ -10,10 +11,12 @@ import (
 )
 
 // UpdateStrategy names the §6.3 maintenance strategies compared in
-// Figure 16.
+// Figure 16, plus the Incremental strategy that closes the paper's
+// online-setting gap.
 type UpdateStrategy int
 
-// The four strategies from the paper, in the order Figure 16 plots them.
+// The four strategies from the paper, in the order Figure 16 plots them,
+// followed by the dirty-set-driven Incremental strategy.
 const (
 	// FromScratch rebuilds the whole similarity graph from the follow
 	// graph with the refreshed profiles. Best quality, full cost.
@@ -28,6 +31,14 @@ const (
 	// UpdateWeights recomputes the weights of existing edges with the
 	// refreshed profiles but adds no new edges.
 	UpdateWeights
+	// Incremental re-scores only the users whose profiles (or whose
+	// shared tweets' weights) changed since the previous refresh — the
+	// dirty set similarity.Store tracks on Observe — and splices their
+	// edge lists into the previous graph per-user. Dirty users' out-edges
+	// are bit-identical to FromScratch; clean users keep their structure
+	// with stale edges into the dirty set reweighted or dropped. See
+	// UpdateIncremental.
+	Incremental
 )
 
 func (s UpdateStrategy) String() string {
@@ -40,19 +51,47 @@ func (s UpdateStrategy) String() string {
 		return "crossfold"
 	case UpdateWeights:
 		return "SimGraph updated"
+	case Incremental:
+		return "incremental"
 	default:
 		return fmt.Sprintf("UpdateStrategy(%d)", int(s))
 	}
 }
 
-// AllUpdateStrategies lists the strategies in Figure 16 order.
-var AllUpdateStrategies = []UpdateStrategy{FromScratch, KeepOld, Crossfold, UpdateWeights}
+// AllUpdateStrategies lists the strategies in Figure 16 order, then
+// Incremental.
+var AllUpdateStrategies = []UpdateStrategy{FromScratch, KeepOld, Crossfold, UpdateWeights, Incremental}
+
+// ParseUpdateStrategy resolves a flag-friendly strategy spelling. It
+// accepts both the canonical String() forms and kebab-case names:
+// "from-scratch", "keep-old", "crossfold", "update-weights",
+// "incremental".
+func ParseUpdateStrategy(s string) (UpdateStrategy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "from-scratch", "fromscratch", "scratch", "from scratch":
+		return FromScratch, nil
+	case "keep-old", "keepold", "keep", "old", "old simgraph":
+		return KeepOld, nil
+	case "crossfold":
+		return Crossfold, nil
+	case "update-weights", "updateweights", "weights", "simgraph updated":
+		return UpdateWeights, nil
+	case "incremental":
+		return Incremental, nil
+	default:
+		return 0, fmt.Errorf("simgraph: unknown update strategy %q (want from-scratch, keep-old, crossfold, update-weights, or incremental)", s)
+	}
+}
 
 // Update applies a maintenance strategy. prev is the similarity graph
 // built earlier; store must already contain the newly observed actions
 // (refreshed profiles and popularities); follow is needed only by
-// FromScratch. The returned graph is freshly built (prev is never
-// mutated).
+// FromScratch and Incremental. The returned graph is freshly built (prev
+// is never mutated).
+//
+// For Incremental, Update drains the store's dirty set itself; callers
+// that need the dirty list (for stats, or to drain at a precise point in
+// their locking protocol) should call UpdateIncremental directly.
 func Update(strategy UpdateStrategy, prev *wgraph.Graph, follow *graph.Graph, store *similarity.Store, cfg Config) *wgraph.Graph {
 	cfg = cfg.withDefaults()
 	switch strategy {
@@ -64,6 +103,8 @@ func Update(strategy UpdateStrategy, prev *wgraph.Graph, follow *graph.Graph, st
 		return updateWeights(prev, store, cfg)
 	case Crossfold:
 		return crossfold(prev, store, cfg)
+	case Incremental:
+		return UpdateIncremental(prev, follow, store, store.DrainDirty(nil), cfg)
 	default:
 		panic(fmt.Sprintf("simgraph: unknown strategy %d", strategy))
 	}

@@ -1,0 +1,91 @@
+package similarity
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/ids"
+)
+
+func sortedUsers(us []ids.UserID) []ids.UserID {
+	out := append([]ids.UserID(nil), us...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestObserveMarksRetweeterAndCoRetweeters(t *testing.T) {
+	s := handStore() // tweet 1 retweeted by 0, 1, 2
+	if s.DirtyCount() != 0 {
+		t.Fatalf("fresh store has %d dirty users", s.DirtyCount())
+	}
+	// User 3 retweets tweet 1: the weight of tweet 1 moved for every pair
+	// among {0,1,2,3}, so all four are the invalidation set.
+	s.Observe(3, 1)
+	got := sortedUsers(s.DrainDirty(nil))
+	want := []ids.UserID{0, 1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("dirty = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dirty = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestObserveDuplicateStillMarks(t *testing.T) {
+	s := handStore()
+	// User 0 already retweeted tweet 0 (retweeters {0,1}): the profile is
+	// a set, but the popularity bump still changes weight(0) for the pair
+	// (0,1), so both must be marked.
+	s.Observe(0, 0)
+	got := sortedUsers(s.DrainDirty(nil))
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("dirty after duplicate = %v, want [0 1]", got)
+	}
+}
+
+func TestDrainDirtyClearsAndDedupes(t *testing.T) {
+	s := handStore()
+	s.Observe(2, 2) // retweeters of 2: {2} — marks only 2
+	s.Observe(2, 2) // again: still only one entry
+	if s.DirtyCount() != 1 {
+		t.Fatalf("DirtyCount = %d, want 1", s.DirtyCount())
+	}
+	got := s.DrainDirty(nil)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("drain = %v, want [2]", got)
+	}
+	if s.DirtyCount() != 0 {
+		t.Fatalf("DirtyCount after drain = %d, want 0", s.DirtyCount())
+	}
+	if again := s.DrainDirty(nil); len(again) != 0 {
+		t.Fatalf("second drain = %v, want empty", again)
+	}
+	// Marking starts afresh after a drain.
+	s.Observe(1, 2)
+	got = sortedUsers(s.DrainDirty(nil))
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("dirty after re-observe = %v, want [1 2]", got)
+	}
+}
+
+func TestDrainDirtyAppendsToBuf(t *testing.T) {
+	s := handStore()
+	s.Observe(2, 2)
+	buf := []ids.UserID{42}
+	got := s.DrainDirty(buf)
+	if len(got) != 2 || got[0] != 42 || got[1] != 2 {
+		t.Fatalf("drain into buf = %v, want [42 2]", got)
+	}
+}
+
+func TestObserveNewTweetMarksOnlyRetweeter(t *testing.T) {
+	s := handStore()
+	// Tweet beyond the initial space: grown on demand, no co-retweeters.
+	s.Observe(1, 7)
+	got := s.DrainDirty(nil)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("dirty = %v, want [1]", got)
+	}
+}

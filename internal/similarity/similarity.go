@@ -38,6 +38,23 @@ type Store struct {
 	weights  []float32       // per tweet, min(1, 1/ln(1+m)) — cached
 	postings [][]ids.UserID  // per tweet, sorted distinct retweeters (transpose of profiles)
 
+	// Dirty-user tracking for incremental similarity-graph maintenance
+	// (§6.3 online setting): Observe marks every user whose pairwise
+	// similarities the action may have changed — the retweeter (profile
+	// and union sizes changed) plus all co-retweeters of the tweet (the
+	// popularity bump changed the weight every intersection containing
+	// the tweet contributes). Any pair of users NOT both in the dirty set
+	// provably kept its exact similarity, so re-scoring dirty users'
+	// neighbourhoods is a complete invalidation strategy; see DESIGN.md
+	// §12. dirtyMark is dense per-user; dirtyList holds marked users in
+	// first-marked order. Mutated only by Observe and DrainDirty — the
+	// read paths (Sim, SimBatch, Profile, ...) never touch them, so a
+	// DrainDirty may run concurrently with similarity readers as long as
+	// writers are excluded (the engine drains under its read lock, which
+	// blocks Observe).
+	dirtyMark []bool
+	dirtyList []ids.UserID
+
 	// Kernel-path counters (see Instrument): how often SimBatch ran its
 	// scatter pass versus falling back to pairwise merges. Nil (no-op)
 	// until instrumented; atomic, so concurrent SimBatch readers may bump
@@ -63,8 +80,9 @@ func (s *Store) Instrument(batch, fallback *metrics.Counter) {
 // NewStore builds a store from a training action log.
 func NewStore(numUsers, numTweets int, actions []dataset.Action) *Store {
 	s := &Store{
-		profiles: make([][]ids.TweetID, numUsers),
-		pop:      make([]int32, numTweets),
+		profiles:  make([][]ids.TweetID, numUsers),
+		pop:       make([]int32, numTweets),
+		dirtyMark: make([]bool, numUsers),
 	}
 	perUser := make([]int32, numUsers)
 	for _, a := range actions {
@@ -159,6 +177,13 @@ func popularityWeight(m int32) float32 {
 
 // Observe records a new retweet, updating the profile, the popularity,
 // and the inverted index. The cached weight for the tweet is refreshed.
+//
+// Observe also maintains the dirty-user set: the retweeter and every
+// co-retweeter of t are marked, because those are exactly the users whose
+// pairwise similarities the action can change (the weight of t moved for
+// every intersection containing it; u's union sizes moved for every
+// pair). Marking costs O(|retweeters(t)|), the same bound as the posting-
+// list insert below.
 func (s *Store) Observe(u ids.UserID, t ids.TweetID) {
 	for int(t) >= len(s.pop) {
 		s.pop = append(s.pop, 0)
@@ -170,7 +195,11 @@ func (s *Store) Observe(u ids.UserID, t ids.TweetID) {
 	p := s.profiles[u]
 	i := sort.Search(len(p), func(i int) bool { return p[i] >= t })
 	if i < len(p) && p[i] == t {
-		return // duplicate retweet: profile is a set
+		// Duplicate retweet: the profile is a set, but the popularity bump
+		// above still changed the weight of t for every pair sharing it —
+		// the co-retweeters (which include u) stay the invalidation set.
+		s.markRetweetersDirty(t)
+		return
 	}
 	p = append(p, 0)
 	copy(p[i+1:], p[i:])
@@ -183,9 +212,91 @@ func (s *Store) Observe(u ids.UserID, t ids.TweetID) {
 	copy(pl[j+1:], pl[j:])
 	pl[j] = u
 	s.postings[t] = pl
+	s.markRetweetersDirty(t) // includes u, just inserted
 	if s.topicOf != nil {
 		s.bumpTopic(u, s.topicOf(t))
 	}
+}
+
+// markRetweetersDirty marks every current retweeter of t (u included,
+// once inserted) as dirty.
+func (s *Store) markRetweetersDirty(t ids.TweetID) {
+	for _, v := range s.postings[t] {
+		if int(v) < len(s.dirtyMark) && !s.dirtyMark[v] {
+			s.dirtyMark[v] = true
+			s.dirtyList = append(s.dirtyList, v)
+		}
+	}
+}
+
+// DirtyCount returns how many users are currently marked dirty — users
+// whose profile or whose shared tweets' weights changed since the last
+// DrainDirty. Callers must hold the same synchronization as any other
+// read mixed with Observe.
+func (s *Store) DirtyCount() int { return len(s.dirtyList) }
+
+// DrainDirty appends the dirty users to buf (first-marked order, each
+// user at most once), clears the dirty set, and returns the result. A
+// subsequent Observe starts marking afresh, so draining immediately
+// before a graph build hands the builder exactly the users whose
+// similarities could have moved since the previous drain. DrainDirty
+// mutates only the dirty bookkeeping — never the profiles, popularity,
+// or postings — so it may run concurrently with similarity readers
+// provided Observe is excluded.
+func (s *Store) DrainDirty(buf []ids.UserID) []ids.UserID {
+	buf = append(buf, s.dirtyList...)
+	for _, u := range s.dirtyList {
+		s.dirtyMark[u] = false
+	}
+	s.dirtyList = s.dirtyList[:0]
+	return buf
+}
+
+// Clone returns a read-only snapshot of the store: profiles, popularity,
+// cached weights, the inverted index, and topic vectors are deep-copied
+// into freshly allocated (flattened) storage, so subsequent Observe calls
+// on the original cannot be seen through the clone. The dirty-set
+// bookkeeping is NOT carried over — a clone exists to feed a graph build,
+// which receives the drained dirty list separately. The kernel-path
+// counters are shared (they are atomic), so builds against the clone
+// still show up in the original's instrumentation.
+//
+// Cloning costs one pass over the store's data (a few bytes per stored
+// retweet), which is what lets the engine run the incremental build
+// outside its lock: writers stall for the copy, not the build.
+func (s *Store) Clone() *Store {
+	c := &Store{
+		profiles:   cloneNested(s.profiles),
+		pop:        append([]int32(nil), s.pop...),
+		weights:    append([]float32(nil), s.weights...),
+		postings:   cloneNested(s.postings),
+		mBatch:     s.mBatch,
+		mFallback:  s.mFallback,
+		topicOf:    s.topicOf,
+		topicAlpha: s.topicAlpha,
+	}
+	if s.topicVecs != nil {
+		c.topicVecs = cloneNested(s.topicVecs)
+	}
+	return c
+}
+
+// cloneNested deep-copies a slice of slices into one flat backing array
+// (one allocation for all rows instead of one per row). Rows are
+// capacity-clipped so an append to one row can never clobber the next.
+func cloneNested[T any](rows [][]T) [][]T {
+	total := 0
+	for _, r := range rows {
+		total += len(r)
+	}
+	flat := make([]T, 0, total)
+	out := make([][]T, len(rows))
+	for i, r := range rows {
+		lo := len(flat)
+		flat = append(flat, r...)
+		out[i] = flat[lo:len(flat):len(flat)]
+	}
+	return out
 }
 
 // Profile returns u's sorted retweet set (shared storage; do not modify).

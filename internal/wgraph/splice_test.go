@@ -1,0 +1,144 @@
+package wgraph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ids"
+	"repro/internal/xrand"
+)
+
+// spliceReference applies runs the slow way: materialize the edge list,
+// drop the spliced sources' old edges, append the runs, and rebuild with
+// NewFromEdges. SpliceOuts must be indistinguishable from this.
+func spliceReference(g *Graph, runs []OutRun) *Graph {
+	replaced := make(map[ids.UserID]bool, len(runs))
+	for _, r := range runs {
+		replaced[r.From] = true
+	}
+	var edges []Edge
+	for _, e := range g.Edges() {
+		if !replaced[e.From] {
+			edges = append(edges, e)
+		}
+	}
+	for _, r := range runs {
+		for i, to := range r.To {
+			edges = append(edges, Edge{From: r.From, To: to, Weight: r.W[i]})
+		}
+	}
+	return NewFromEdges(g.NumNodes(), edges)
+}
+
+func graphsEqual(a, b *Graph) bool {
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for u := 0; u < a.NumNodes(); u++ {
+		at, aw := a.Out(ids.UserID(u))
+		bt, bw := b.Out(ids.UserID(u))
+		if len(at) != len(bt) {
+			return false
+		}
+		for i := range at {
+			if at[i] != bt[i] || aw[i] != bw[i] {
+				return false
+			}
+		}
+		af, aiw := a.In(ids.UserID(u))
+		bf, biw := b.In(ids.UserID(u))
+		if len(af) != len(bf) {
+			return false
+		}
+		for i := range af {
+			if af[i] != bf[i] || aiw[i] != biw[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func randomWeighted(n, e int, rng *xrand.RNG) *Graph {
+	b := NewBuilder(n, e)
+	for i := 0; i < e; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		b.AddEdge(ids.UserID(u), ids.UserID(v), float32(rng.Float64()))
+	}
+	return b.Build()
+}
+
+// randomRuns picks a random subset of sources and gives each a random
+// replacement run (possibly empty = delete all out-edges).
+func randomRuns(n int, rng *xrand.RNG) []OutRun {
+	var runs []OutRun
+	for u := 0; u < n; u++ {
+		if !rng.Bool(0.3) {
+			continue
+		}
+		deg := rng.Intn(n)
+		run := OutRun{From: ids.UserID(u)}
+		seen := make(map[ids.UserID]bool)
+		for i := 0; i < deg; i++ {
+			v := ids.UserID(rng.Intn(n))
+			if int(v) == u || seen[v] {
+				continue
+			}
+			seen[v] = true
+			run.To = append(run.To, v)
+			run.W = append(run.W, float32(rng.Float64()))
+		}
+		SortRun(run)
+		runs = append(runs, run)
+	}
+	return runs
+}
+
+// Property: SpliceOuts ≡ drop-and-rebuild via NewFromEdges, including
+// the reverse CSR (in-lists sorted by source, same as NewFromEdges).
+func TestSpliceOutsMatchesRebuild(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 2 + rng.Intn(30)
+		g := randomWeighted(n, rng.Intn(4*n), rng)
+		runs := randomRuns(n, rng)
+		return graphsEqual(SpliceOuts(g, runs), spliceReference(g, runs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpliceOutsNoRuns(t *testing.T) {
+	g := triangle()
+	if !graphsEqual(SpliceOuts(g, nil), g) {
+		t.Error("empty splice changed the graph")
+	}
+}
+
+func TestSpliceOutsDeleteAndGrow(t *testing.T) {
+	g := triangle() // 0→1, 1→2, 2→0
+	ng := SpliceOuts(g, []OutRun{
+		{From: 0, To: []ids.UserID{1, 2}, W: []float32{0.9, 0.8}}, // grow
+		{From: 1}, // delete all of 1's out-edges
+	})
+	if ng.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", ng.NumEdges())
+	}
+	if w, ok := ng.Weight(0, 2); !ok || w != 0.8 {
+		t.Errorf("Weight(0,2) = %v %v", w, ok)
+	}
+	if _, ok := ng.Weight(1, 2); ok {
+		t.Error("deleted edge 1→2 survived")
+	}
+	if w, ok := ng.Weight(2, 0); !ok || w != 0.75 {
+		t.Errorf("untouched edge 2→0 = %v %v", w, ok)
+	}
+	// Original untouched (immutability).
+	if g.NumEdges() != 3 || g.OutDegree(1) != 1 {
+		t.Error("SpliceOuts mutated its input")
+	}
+}

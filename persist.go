@@ -261,6 +261,7 @@ func bootFromCheckpoint(ck *durable.Checkpoint, eopts EngineOptions) (*Engine, e
 		return nil, err
 	}
 	e.rec.InitWithGraph(e.ctx, ck.Graph)
+	e.maybeStartRefresher()
 	return e, nil
 }
 
@@ -447,13 +448,18 @@ func (e *Engine) startCheckpointer(every time.Duration) {
 	}()
 }
 
-// Close stops the background checkpointer (waiting for an in-flight
-// snapshot to finish) and flushes, fsyncs, and closes the engine-owned
-// WAL. The engine itself stays readable; only durability stops. Safe to
-// call more than once, and a no-op for engines without durability.
+// Close stops the background refresher and checkpointer (waiting for an
+// in-flight refresh or snapshot to finish) and flushes, fsyncs, and
+// closes the engine-owned WAL. The engine itself stays readable; only
+// the background work stops. Safe to call more than once, and a no-op
+// for engines without durability or a background refresher.
 func (e *Engine) Close() error {
 	var err error
 	e.closeOnce.Do(func() {
+		if e.refreshStop != nil {
+			close(e.refreshStop)
+			<-e.refreshDone
+		}
 		if e.ckptStop != nil {
 			close(e.ckptStop)
 			<-e.ckptDone

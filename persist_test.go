@@ -183,6 +183,79 @@ func TestRecoverMatchesLiveEngine(t *testing.T) {
 	assertSameRecommendations(t, recommendAll(live, 10, fx.now), recommendAll(rec, 10, fx.now), "after post-recovery refresh")
 }
 
+// TestRecoverMatchesLiveEngineIncremental extends the recovery guarantee
+// to the dirty-set-driven strategy: the dirty set is NOT checkpointed —
+// recovery reconstructs it by replaying the checkpoint suffix and WAL
+// tail through Observe, which re-marks exactly the users the live engine
+// marked (no drain happened between checkpoint and crash, so the sets
+// are equal, not merely a superset). An incremental refresh on both
+// sides must therefore install identical graphs and serve bit-identical
+// recommendations.
+func TestRecoverMatchesLiveEngineIncremental(t *testing.T) {
+	fx := newPersistFixture(t)
+	live, err := NewEngine(fx.ds, fx.opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	per, _, err := OpenEngine(dir, OpenOptions{Engine: fx.opts, Dataset: fx.ds})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stream half, checkpoint, stream the rest, crash. No refresh before
+	// the crash: every streamed action's dirty mark is still pending.
+	mid := len(fx.test) / 2
+	fx.feed(t, live, 0, mid)
+	fx.feed(t, per, 0, mid)
+	if _, err := per.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	fx.feed(t, live, mid, len(fx.test))
+	fx.feed(t, per, mid, len(fx.test))
+	if err := per.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ropts := fx.opts
+	ropts.Train = nil
+	rec, rs, err := OpenEngine(dir, OpenOptions{Engine: ropts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if !rs.Recovered {
+		t.Fatalf("no recovery happened: %+v", rs)
+	}
+	assertSameRecommendations(t, recommendAll(live, 10, fx.now), recommendAll(rec, 10, fx.now), "after recovery")
+
+	// The incremental refresh drains the reconstructed dirty set; both
+	// sides must re-score the same users over the same previous graph.
+	stLive := live.RefreshGraphStats(UpdateIncremental)
+	stRec := rec.RefreshGraphStats(UpdateIncremental)
+	if stLive.DirtyUsers == 0 {
+		t.Fatal("live engine had no dirty users after streaming")
+	}
+	if stRec.DirtyUsers != stLive.DirtyUsers {
+		t.Errorf("recovered dirty set %d users, live %d", stRec.DirtyUsers, stLive.DirtyUsers)
+	}
+	if stRec.Edges != stLive.Edges {
+		t.Errorf("recovered graph %d edges, live %d", stRec.Edges, stLive.Edges)
+	}
+	assertSameRecommendations(t, recommendAll(live, 10, fx.now), recommendAll(rec, 10, fx.now), "after incremental refresh")
+
+	// A second round of streaming and refreshing stays in lockstep.
+	if err := live.Observe(fx.test[0].User, fx.test[0].Tweet, fx.now); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Observe(fx.test[0].User, fx.test[0].Tweet, fx.now); err != nil {
+		t.Fatal(err)
+	}
+	live.RefreshGraph(UpdateIncremental)
+	rec.RefreshGraph(UpdateIncremental)
+	assertSameRecommendations(t, recommendAll(live, 10, fx.now), recommendAll(rec, 10, fx.now), "after second incremental refresh")
+}
+
 // TestRecoverTornWALTail simulates a crash mid-append: the newest
 // segment loses its last record to a torn tail. Recovery must salvage
 // every whole record, report the tear, and converge back to the live
