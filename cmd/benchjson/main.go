@@ -31,6 +31,8 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro"
@@ -100,6 +102,13 @@ func main() {
 		propTweets   = flag.Int("propTweets", 60, "concurrently-hot tweets in the propagation replay")
 		propPerTweet = flag.Int("propPerTweet", 10, "shares streamed per tweet in the propagation replay")
 		propOut      = flag.String("propOut", "BENCH_propagation.json", "propagation report output file")
+
+		shards         = flag.String("shards", "1,2,4", "comma-separated fleet sizes for the sharded-router benchmark (empty disables)")
+		shardWriters   = flag.Int("shardWriters", 4, "concurrent writer goroutines in the shard ingest benchmark")
+		shardReaders   = flag.Int("shardReaders", 4, "concurrent reader goroutines in the shard serving benchmark")
+		shardRuns      = flag.Int("shardRuns", 1, "timing runs per fleet size (best kept; fleets rebuild per run)")
+		shardEvalUsers = flag.Int("shardEvalUsers", 300, "dataset size for the sharded-vs-oracle quality replay")
+		shardOut       = flag.String("shardOut", "BENCH_shard.json", "shard report output file")
 	)
 	flag.Parse()
 
@@ -189,6 +198,32 @@ func main() {
 	ctx := recsys.NewContext(ds, ds.Actions, tracked, *seed)
 	propagationBench(*propNodes, *propDeg, *propTweets, *propPerTweet, *runs, *seed,
 		ds, ctx, kernelG, *observe, *propOut)
+
+	if counts := parseShardCounts(*shards); len(counts) > 0 {
+		shardBench(*users, counts, *shardWriters, *shardReaders, *shardRuns, *seed,
+			*shardEvalUsers, *shardOut)
+	}
+}
+
+// parseShardCounts parses the -shards list ("1,2,4"); empty disables the
+// shard benchmark.
+func parseShardCounts(s string) []int {
+	if s == "" {
+		return nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			log.Fatalf("bad -shards entry %q", f)
+		}
+		out = append(out, n)
+	}
+	return out
 }
 
 // measureRefresh times one strategy's RefreshGraph, best of runs. Every

@@ -24,6 +24,7 @@ type propReport struct {
 	GeneratedAt string `json:"generated_at"`
 	GoVersion   string `json:"go_version"`
 	CPUs        int    `json:"cpus"`
+	GoMaxProcs  int    `json:"gomaxprocs"`
 	Nodes       int    `json:"nodes"`
 	Degree      int    `json:"degree"`
 	Seed        uint64 `json:"seed"`
@@ -156,6 +157,7 @@ func propagationBench(nodes, deg, tweets, perTweet, runs int, seed uint64,
 	r.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
 	r.GoVersion = runtime.Version()
 	r.CPUs = runtime.NumCPU()
+	r.GoMaxProcs = runtime.GOMAXPROCS(0)
 	r.Nodes = nodes
 	r.Degree = deg
 	r.Seed = seed

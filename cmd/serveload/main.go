@@ -16,11 +16,17 @@
 // checkpoint before load starts, so the directory is recoverable from
 // the first streamed action on.
 //
+// With -shards N the users are partitioned across N independent engine
+// shards behind the consistent-hash router (internal/shard): writes
+// quiesce only their owner shard, reads fan out only for cold users,
+// and with -wal-dir every shard logs and checkpoints into its own
+// subdirectory and recovers independently on restart.
+//
 // Usage:
 //
 //	serveload [-users 5000] [-seed 1] [-load ds.bin] [-readers 8]
 //	          [-duration 10s] [-k 10] [-postpone] [-diverse]
-//	          [-debug 127.0.0.1:6060] [-refresh-every 0]
+//	          [-shards 1] [-debug 127.0.0.1:6060] [-refresh-every 0]
 //	          [-refresh-strategy update-weights]
 //	          [-wal-dir DIR] [-wal-sync interval] [-checkpoint-every 0]
 package main
@@ -41,6 +47,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/gen"
 	"repro/internal/metrics"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -62,8 +69,12 @@ func main() {
 		walDir   = flag.String("wal-dir", "", "durability directory: WAL every Observe and recover from it on start")
 		walSync  = flag.String("wal-sync", "interval", "WAL fsync policy: always, interval, or none")
 		ckEvery  = flag.Duration("checkpoint-every", 0, "background checkpoint period into -wal-dir (0 = never)")
+		shards   = flag.Int("shards", 1, "partition users across this many engine shards via the consistent-hash router (with -wal-dir each shard gets its own WAL+checkpoint subdirectory)")
 	)
 	flag.Parse()
+	if *shards > 1 && *diverse {
+		log.Fatal("-diverse needs the whole-population bubble assignment; it requires -shards 1")
+	}
 
 	var ds *repro.Dataset
 	var err error
@@ -84,8 +95,81 @@ func main() {
 	opts.Train = train
 	opts.Postpone = *postpone
 	start := time.Now()
-	var eng *repro.Engine
-	if *walDir != "" {
+
+	// Both serving shapes — one engine, or a sharded fleet behind the
+	// consistent-hash router — drive the same load loops through these.
+	var (
+		eng         *repro.Engine
+		observeFn   func(repro.UserID, repro.TweetID, repro.Timestamp) error
+		recommendFn func(repro.UserID, int, repro.Timestamp) []repro.Recommendation
+		metricsFn   func() metrics.Snapshot
+		refreshFn   func(repro.UpdateStrategy)
+	)
+	if *shards > 1 {
+		var router *shard.Router
+		if *walDir != "" {
+			policy, err := repro.ParseWALSyncPolicy(*walSync)
+			if err != nil {
+				log.Fatal(err)
+			}
+			var stats []repro.RecoveryStats
+			router, stats, err = shard.Open(*walDir, repro.OpenOptions{
+				Engine:          opts,
+				Dataset:         ds,
+				WALSync:         policy,
+				CheckpointEvery: *ckEvery,
+			}, shard.Options{Shards: *shards})
+			if err != nil {
+				log.Fatal(err)
+			}
+			recovered := false
+			for i, rs := range stats {
+				if !rs.Recovered {
+					continue
+				}
+				recovered = true
+				fmt.Printf("recovered shard %d: checkpoint seq %d (%d actions) + WAL tail %d records (torn=%v) in %v\n",
+					i, rs.CheckpointSeq, rs.CheckpointActions, rs.WALRecords, rs.WALTorn,
+					rs.Duration.Round(time.Millisecond))
+			}
+			if !recovered {
+				// Fresh directory: seed every shard with a bootstrap
+				// checkpoint synchronously, so a kill at any later moment
+				// recovers the whole fleet without this process's generated
+				// dataset.
+				cks, err := router.Checkpoint()
+				if err != nil {
+					log.Fatal(err)
+				}
+				var bytes int64
+				for _, st := range cks {
+					bytes += st.Bytes
+				}
+				fmt.Printf("durability: fresh %s, bootstrap checkpoints on %d shards (%d bytes, sync=%s)\n",
+					*walDir, len(cks), bytes, policy)
+			}
+		} else if router, err = shard.New(ds, opts, shard.Options{Shards: *shards}); err != nil {
+			log.Fatal(err)
+		}
+		defer router.Close()
+		observeFn = router.Observe
+		recommendFn = router.Recommend
+		metricsFn = router.Metrics
+		refreshFn = func(strat repro.UpdateStrategy) {
+			t0 := time.Now()
+			stats := router.RefreshGraphStats(strat)
+			var dirty, added, removed, reweighted int
+			for _, st := range stats {
+				dirty += st.DirtyUsers
+				added += st.EdgesAdded
+				removed += st.EdgesRemoved
+				reweighted += st.EdgesReweighted
+			}
+			log.Printf("refresh(%s): fleet wall=%v over %d shards, dirty=%d Δedges=+%d/-%d/~%d",
+				strat, time.Since(t0).Round(time.Millisecond), len(stats),
+				dirty, added, removed, reweighted)
+		}
+	} else if *walDir != "" {
 		policy, err := repro.ParseWALSyncPolicy(*walSync)
 		if err != nil {
 			log.Fatal(err)
@@ -119,11 +203,26 @@ func main() {
 	} else if eng, err = repro.NewEngine(ds, opts); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("trained on %d users / %d train actions in %v (GOMAXPROCS=%d)\n",
-		ds.NumUsers(), len(train), time.Since(start).Round(time.Millisecond), runtime.GOMAXPROCS(0))
+	if eng != nil {
+		observeFn = eng.Observe
+		recommendFn = eng.Recommend
+		metricsFn = eng.Metrics
+		refreshFn = func(strat repro.UpdateStrategy) {
+			st := eng.RefreshGraphStats(strat)
+			log.Printf("refresh(%s): build=%v write-stall=%v lock=%v dirty=%d Δedges=+%d/-%d/~%d replayed=%d compacted=%d",
+				st.Strategy,
+				st.BuildTime.Round(time.Millisecond),
+				st.WriteStall.Round(time.Microsecond),
+				st.LockHold.Round(time.Microsecond),
+				st.DirtyUsers, st.EdgesAdded, st.EdgesRemoved, st.EdgesReweighted,
+				st.Replayed, st.Compacted)
+		}
+	}
+	fmt.Printf("trained on %d users / %d train actions across %d shard(s) in %v (GOMAXPROCS=%d)\n",
+		ds.NumUsers(), len(train), *shards, time.Since(start).Round(time.Millisecond), runtime.GOMAXPROCS(0))
 
 	if *debug != "" {
-		srv := &http.Server{Addr: *debug, Handler: metrics.NewDebugMux(eng.Metrics)}
+		srv := &http.Server{Addr: *debug, Handler: metrics.NewDebugMux(metricsFn)}
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("debug server: %v", err)
@@ -162,7 +261,7 @@ func main() {
 			default:
 			}
 			a := test[i%len(test)]
-			if err := eng.Observe(a.User, a.Tweet, a.Time); err != nil {
+			if err := observeFn(a.User, a.Tweet, a.Time); err != nil {
 				log.Fatal(err)
 			}
 			writes.Add(1)
@@ -184,7 +283,7 @@ func main() {
 				if *diverse {
 					eng.RecommendDiverse(assignment, repro.UserID(u), *k, now, 0.5)
 				} else {
-					eng.Recommend(repro.UserID(u), *k, now)
+					recommendFn(repro.UserID(u), *k, now)
 				}
 				el := time.Since(t0)
 				readNS.Add(int64(el))
@@ -222,14 +321,7 @@ func main() {
 				case <-stop:
 					return
 				case <-tick.C:
-					st := eng.RefreshGraphStats(strat)
-					log.Printf("refresh(%s): build=%v write-stall=%v lock=%v dirty=%d Δedges=+%d/-%d/~%d replayed=%d compacted=%d",
-						st.Strategy,
-						st.BuildTime.Round(time.Millisecond),
-						st.WriteStall.Round(time.Microsecond),
-						st.LockHold.Round(time.Microsecond),
-						st.DirtyUsers, st.EdgesAdded, st.EdgesRemoved, st.EdgesReweighted,
-						st.Replayed, st.Compacted)
+					refreshFn(strat)
 				}
 			}
 		}()
@@ -254,7 +346,7 @@ func main() {
 	}
 
 	fmt.Println("\n--- engine metrics ---")
-	if err := eng.Metrics().WriteText(os.Stdout); err != nil {
+	if err := metricsFn().WriteText(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }

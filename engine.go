@@ -398,6 +398,23 @@ func (e *Engine) Recommend(u UserID, k int, now Timestamp) []Recommendation {
 	return out
 }
 
+// ColdStartRecommend runs the followee-aggregation fallback directly,
+// regardless of EngineOptions.ColdStartFallback and of whether u has
+// pool candidates of their own. It exists for routers that partition
+// users across engines (internal/shard): a cold user's followees may be
+// tracked on several engines, and the router reconstructs the global
+// fallback by summing each engine's partial aggregate — every engine
+// normalizes by the user's full followee count, so partial sums over
+// disjoint followee subsets merge exactly. Safe for concurrent callers.
+func (e *Engine) ColdStartRecommend(u UserID, k int, now Timestamp) []Recommendation {
+	if int(u) >= e.ds.NumUsers() || k <= 0 {
+		return nil
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.coldStartRecommend(u, k, now)
+}
+
 // coldStartRecommend aggregates the followees' candidate lists, averaging
 // scores so tweets endorsed by several followees rank first. The followee
 // pools filter the followees' own shares, not the cold user's, so the
@@ -827,7 +844,12 @@ func (e *Engine) Metrics() metrics.Snapshot { return e.metrics.Snapshot() }
 // watch individual series without snapshotting everything.
 func (e *Engine) MetricsRegistry() *metrics.Registry { return e.metrics }
 
-// ObservedActions returns a copy of the actions streamed in so far.
+// ObservedActions returns a copy of the actions streamed in so far. The
+// copy is taken under the read lock, so it is a consistent prefix of the
+// observed log even while writers stream, and mutating it never touches
+// engine state — required when the caller is a shard router polling many
+// engines whose logs compact concurrently (RefreshGraph rewrites the
+// backing array in place under the exclusive lock).
 func (e *Engine) ObservedActions() []Action {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -836,7 +858,12 @@ func (e *Engine) ObservedActions() []Action {
 	return out
 }
 
-// Dataset returns the engine's dataset.
+// Dataset returns the engine's dataset. The pointer is shared, not
+// copied — the dataset is multi-megabyte and immutable by contract: no
+// engine method ever mutates it, and a shard router deliberately shares
+// one dataset across every shard engine. Callers must treat the graph,
+// tweet, and action slices as read-only; no lock is needed because the
+// field is set at construction and never reassigned.
 func (e *Engine) Dataset() *Dataset { return e.ds }
 
 var _ = dataset.SortActions // keep the dataset import for the type aliases

@@ -1,0 +1,43 @@
+package eval
+
+import "testing"
+
+func deltaMetrics(ks []int, hits []int, sets []map[pairKey]struct{}) *Metrics {
+	return &Metrics{Ks: ks, Hits: hits, HitSets: sets}
+}
+
+func TestQualityDelta(t *testing.T) {
+	ks := []int{10, 20}
+	oracle := deltaMetrics(ks, []int{4, 0}, []map[pairKey]struct{}{
+		{makePair(1, 1): {}, makePair(1, 2): {}, makePair(2, 1): {}, makePair(3, 9): {}},
+		{},
+	})
+	cand := deltaMetrics(ks, []int{3, 5}, []map[pairKey]struct{}{
+		{makePair(1, 1): {}, makePair(2, 1): {}, makePair(4, 4): {}},
+		{makePair(1, 1): {}},
+	})
+	d := QualityDelta(oracle, cand)
+	if d.HitRatio[0] != 0.75 {
+		t.Errorf("HitRatio[0] = %v, want 0.75", d.HitRatio[0])
+	}
+	if d.CommonRatio[0] != 0.5 {
+		t.Errorf("CommonRatio[0] = %v, want 0.5 (2 of the oracle's 4 pairs)", d.CommonRatio[0])
+	}
+	// Zero oracle hits: no quality existed to lose, both ratios are 1.
+	if d.HitRatio[1] != 1 || d.CommonRatio[1] != 1 {
+		t.Errorf("zero-oracle k: ratios %v/%v, want 1/1", d.HitRatio[1], d.CommonRatio[1])
+	}
+	if d.MinHitRatio != 0.75 || d.MinCommonRatio != 0.5 {
+		t.Errorf("min ratios %v/%v, want 0.75/0.5", d.MinHitRatio, d.MinCommonRatio)
+	}
+}
+
+func TestQualityDeltaRejectsMismatchedSweeps(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched k sweeps accepted")
+		}
+	}()
+	QualityDelta(deltaMetrics([]int{10}, []int{0}, []map[pairKey]struct{}{{}}),
+		deltaMetrics([]int{20}, []int{0}, []map[pairKey]struct{}{{}}))
+}

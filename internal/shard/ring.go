@@ -1,0 +1,126 @@
+// Package shard partitions the engine across N independent shards so the
+// serving layer scales past one RWMutex: a consistent-hash Router owns a
+// ring of repro.Engine instances, each holding the profiles, similarity
+// graph, propagation state, and (optionally) WAL + checkpoint directory
+// of the users it owns. Observe routes to the owning shard; Recommend,
+// Similarity, and PropagateScores either route or scatter-gather with a
+// per-shard top-k merge. See DESIGN.md §13 for the sharding model, the
+// cross-shard edge policy, and the recovery ordering argument.
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ids"
+)
+
+// mix64 is the splitmix64 finalizer: a full-avalanche 64-bit mixer, so
+// sequential UserIDs land uniformly on the ring regardless of how the
+// generator assigned them.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ringPoint is one virtual node: a position on the 64-bit ring and the
+// shard that owns the arc ending at it.
+type ringPoint struct {
+	h     uint64
+	shard int32
+}
+
+// Ring is a consistent-hash ring over shard indices. Each shard places
+// Replicas virtual nodes; a key is owned by the first virtual node at or
+// clockwise-after its hash. Consistent hashing is the production choice
+// because growing the fleet from N to N+1 shards moves only ~1/(N+1) of
+// the users — a modulo partition would reshuffle almost everyone, and
+// every moved user's profile, pool, and WAL history would have to
+// migrate with them.
+//
+// A Ring is immutable after construction and safe for concurrent use.
+type Ring struct {
+	points   []ringPoint
+	shards   int
+	replicas int
+	seed     uint64
+	keySalt  uint64
+}
+
+// NewRing builds a ring of n shards with the given virtual-node count
+// per shard (replicas <= 0 takes DefaultReplicas). The seed
+// deterministically positions the virtual nodes: the same (n, replicas,
+// seed) triple always yields the same ownership function, which is what
+// lets a restarted router recover per-shard WAL directories without a
+// persisted user→shard map.
+func NewRing(n, replicas int, seed uint64) (*Ring, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("shard: ring needs at least 1 shard, got %d", n)
+	}
+	if n > MaxShards {
+		return nil, fmt.Errorf("shard: %d shards exceeds the %d-shard cap (cross-shard loss tracking packs shard sets into one 64-bit mask)", n, MaxShards)
+	}
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	r := &Ring{
+		points:   make([]ringPoint, 0, n*replicas),
+		shards:   n,
+		replicas: replicas,
+		seed:     seed,
+		keySalt:  mix64(seed ^ 0x6b657973616c7421), // "keysalt!" — distinct from the point space
+	}
+	for s := 0; s < n; s++ {
+		for v := 0; v < replicas; v++ {
+			h := mix64(seed ^ mix64(uint64(s)<<32|uint64(v)))
+			r.points = append(r.points, ringPoint{h: h, shard: int32(s)})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].h != r.points[j].h {
+			return r.points[i].h < r.points[j].h
+		}
+		// Hash ties (vanishingly rare) break by shard id so ownership
+		// stays deterministic across runs and restarts.
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r, nil
+}
+
+// Owner returns the shard that owns user u.
+func (r *Ring) Owner(u ids.UserID) int {
+	if r.shards == 1 {
+		return 0
+	}
+	h := mix64(uint64(u) ^ r.keySalt)
+	// First virtual node at or clockwise-after h, wrapping to the start.
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return int(r.points[i].shard)
+}
+
+// NumShards returns the shard count.
+func (r *Ring) NumShards() int { return r.shards }
+
+// Replicas returns the virtual-node count per shard.
+func (r *Ring) Replicas() int { return r.replicas }
+
+// Seed returns the ring's placement seed.
+func (r *Ring) Seed() uint64 { return r.seed }
+
+// Partition assigns every user in [0, numUsers) to its owner and returns
+// the per-shard ownership lists, each sorted ascending.
+func (r *Ring) Partition(numUsers int) [][]ids.UserID {
+	owned := make([][]ids.UserID, r.shards)
+	for u := 0; u < numUsers; u++ {
+		s := r.Owner(ids.UserID(u))
+		owned[s] = append(owned[s], ids.UserID(u))
+	}
+	return owned
+}
