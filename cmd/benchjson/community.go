@@ -1,0 +1,247 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/community"
+	"repro/internal/eval"
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/simgraph"
+	"repro/internal/similarity"
+)
+
+// communityReport is the BENCH_community.json schema: community-detection
+// cost, the from-scratch build-time curve over PruneMinOverlap (speedup,
+// prune ratio, edge retention, and the replay-protocol quality floor per
+// point), and the incremental-maintenance comparison at the selected
+// operating point.
+type communityReport struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	CPUs        int    `json:"cpus"`
+	GoMaxProcs  int    `json:"gomaxprocs"`
+	// Dataset names the generator regime. The community suite runs on the
+	// dense-follow shape (gen.DenseFollowConfig): fine planted communities
+	// and paper-scale follow density, where candidate-generation cost —
+	// the thing cluster pruning removes — dominates the build.
+	Dataset   string `json:"dataset"`
+	Users     int    `json:"users"`
+	Seed      uint64 `json:"seed"`
+	Runs      int    `json:"runs"`
+	EvalUsers int    `json:"eval_users"`
+
+	Detect struct {
+		Ms            float64 `json:"detect_ms"`
+		Clusters      int     `json:"clusters"`
+		Rounds        int     `json:"rounds"`
+		CoveredFrac   float64 `json:"covered_frac"`
+		MeanVectorLen float64 `json:"mean_vector_len"`
+	} `json:"detect"`
+
+	UnprunedBuildMs float64 `json:"unpruned_build_ms"`
+	UnprunedEdges   int     `json:"unpruned_edges"`
+
+	Points []prunePoint `json:"points"`
+
+	// Incremental compares UpdateIncremental over the same dirty set with
+	// and without the pre-filter, at the operating point's threshold.
+	Incremental struct {
+		ObservedActions int     `json:"observed_actions"`
+		DirtyUsers      int     `json:"dirty_users"`
+		MinOverlap      float64 `json:"min_overlap"`
+		UnprunedMs      float64 `json:"unpruned_ms"`
+		PrunedMs        float64 `json:"pruned_ms"`
+		Speedup         float64 `json:"speedup"`
+	} `json:"incremental"`
+
+	// OperatingPoint is the highest-speedup point whose worst-k hit ratio
+	// stays at or above 0.90 against the unpruned oracle.
+	OperatingPoint float64 `json:"operating_point"`
+}
+
+// prunePoint is one PruneMinOverlap setting's measurements.
+type prunePoint struct {
+	MinOverlap float64 `json:"min_overlap"`
+	BuildMs    float64 `json:"build_ms"`
+	Speedup    float64 `json:"speedup"`
+	// CandidatesIn/Dropped come from the similarity/prune/* counters over
+	// the timed builds; PruneRatio is dropped/in. Every dropped candidate
+	// is a SimBatch kernel call saved.
+	CandidatesIn      uint64  `json:"candidates_in"`
+	CandidatesDropped uint64  `json:"candidates_dropped"`
+	PruneRatio        float64 `json:"prune_ratio"`
+	Edges             int     `json:"edges"`
+	EdgeKeepFrac      float64 `json:"edge_keep_frac"`
+	// Exact marks the PruneMinOverlap=0 certificate mode (bit-identical
+	// build, verified).
+	Exact bool `json:"exact"`
+	// MinHitRatio/MinCommonRatio are the worst-k replay-quality floors vs
+	// the unpruned oracle on the eval dataset.
+	MinHitRatio    float64 `json:"min_hit_ratio"`
+	MinCommonRatio float64 `json:"min_common_ratio"`
+}
+
+// communityBench measures cluster-pruned candidate generation end to end
+// on its own dense-follow dataset and writes out.
+func communityBench(users, runs, observe int, seed uint64, overlaps []float64, evalUsers int, out string) {
+	ds, err := gen.Generate(gen.DenseFollowConfig(users, seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	store := similarity.NewStore(ds.NumUsers(), ds.NumTweets(), ds.Actions)
+	reg := metrics.NewRegistry()
+	cIn := reg.Counter("similarity/prune/candidates_in")
+	cDropped := reg.Counter("similarity/prune/candidates_dropped")
+	store.InstrumentPrune(cIn, cDropped, reg.Counter("similarity/prune/kernel_calls_saved"))
+
+	var r communityReport
+	r.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	r.GoVersion = runtime.Version()
+	r.CPUs = runtime.NumCPU()
+	r.GoMaxProcs = runtime.GOMAXPROCS(0)
+	r.Dataset = "dense-follow"
+	r.Users = ds.NumUsers()
+	r.Seed = seed
+	r.Runs = runs
+	r.EvalUsers = evalUsers
+
+	cfg := simgraph.DefaultConfig()
+	base, baseT := timedBuild(ds, store, cfg, runs)
+	r.UnprunedBuildMs = ms(baseT)
+	r.UnprunedEdges = base.NumEdges()
+
+	ccfg := community.DefaultConfig()
+	t0 := time.Now()
+	emb := community.Detect(base, ds.Graph, ccfg)
+	r.Detect.Ms = ms(time.Since(t0))
+	r.Detect.Clusters = emb.NumClusters()
+	r.Detect.Rounds = emb.Rounds()
+	if n := emb.NumUsers(); n > 0 {
+		r.Detect.CoveredFrac = float64(emb.Covered()) / float64(n)
+	}
+	r.Detect.MeanVectorLen = emb.MeanVectorLen()
+
+	// Quality floors come from the §6 replay on a smaller dataset of the
+	// same dense-follow shape (the replay is per-user-day, far heavier
+	// than a timed build). One sweep pays for the unpruned oracle and the
+	// detection once across all thresholds.
+	evalDS, err := gen.Generate(gen.DenseFollowConfig(evalUsers, seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rp, err := eval.NewReplay(evalDS, eval.Options{
+		TrainFrac:      0.9,
+		KMin:           10,
+		KMax:           40,
+		KStep:          10,
+		SamplePerClass: 80,
+		Seed:           seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	quality, err := rp.PruneQualitySweep(simgraph.DefaultRecommenderConfig(), ccfg, overlaps)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for oi, minOv := range overlaps {
+		pcfg := cfg
+		pcfg.ClusterPrune = true
+		pcfg.PruneMinOverlap = minOv
+		pcfg.Clusters = emb
+		inBefore, dropBefore := cIn.Value(), cDropped.Value()
+		g, t := timedBuild(ds, store, pcfg, runs)
+		p := prunePoint{
+			MinOverlap:        minOv,
+			BuildMs:           ms(t),
+			Speedup:           baseT.Seconds() / t.Seconds(),
+			CandidatesIn:      cIn.Value() - inBefore,
+			CandidatesDropped: cDropped.Value() - dropBefore,
+			Edges:             g.NumEdges(),
+			EdgeKeepFrac:      float64(g.NumEdges()) / float64(base.NumEdges()),
+		}
+		if p.CandidatesIn > 0 {
+			p.PruneRatio = float64(p.CandidatesDropped) / float64(p.CandidatesIn)
+		}
+		if minOv == 0 {
+			p.Exact = g.NumEdges() == base.NumEdges() && simgraph.Diff(base, g) == (simgraph.Delta{})
+			if !p.Exact {
+				log.Fatalf("exact mode (PruneMinOverlap=0) diverged: %+v", simgraph.Diff(base, g))
+			}
+		}
+		p.MinHitRatio = quality[oi].Delta.MinHitRatio
+		p.MinCommonRatio = quality[oi].Delta.MinCommonRatio
+		r.Points = append(r.Points, p)
+	}
+
+	// Operating point: fastest build among points holding the 0.90
+	// worst-k hit-ratio floor.
+	best := -1
+	for i, p := range r.Points {
+		if p.MinHitRatio >= 0.90 && (best < 0 || p.Speedup > r.Points[best].Speedup) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		r.OperatingPoint = r.Points[best].MinOverlap
+	}
+
+	// Incremental maintenance at the operating point: same prev graph,
+	// same dirty set, pruned vs unpruned UpdateIncremental.
+	n := observe
+	if n > len(ds.Actions) {
+		n = len(ds.Actions)
+	}
+	for _, a := range ds.Actions[len(ds.Actions)-n:] {
+		store.Observe(a.User, a.Tweet)
+	}
+	dirty := store.DrainDirty(nil)
+	r.Incremental.ObservedActions = n
+	r.Incremental.DirtyUsers = len(dirty)
+	r.Incremental.MinOverlap = r.OperatingPoint
+	pcfg := cfg
+	pcfg.ClusterPrune = true
+	pcfg.PruneMinOverlap = r.OperatingPoint
+	pcfg.Clusters = emb
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		simgraph.UpdateIncremental(base, ds.Graph, store, dirty, cfg)
+		if d := time.Since(start); i == 0 || ms(d) < r.Incremental.UnprunedMs {
+			r.Incremental.UnprunedMs = ms(d)
+		}
+		start = time.Now()
+		simgraph.UpdateIncremental(base, ds.Graph, store, dirty, pcfg)
+		if d := time.Since(start); i == 0 || ms(d) < r.Incremental.PrunedMs {
+			r.Incremental.PrunedMs = ms(d)
+		}
+	}
+	if r.Incremental.PrunedMs > 0 {
+		r.Incremental.Speedup = r.Incremental.UnprunedMs / r.Incremental.PrunedMs
+	}
+
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("community: detect %.1fms, %d clusters, %d rounds, %.0f%% covered, mean vector %.2f\n",
+		r.Detect.Ms, r.Detect.Clusters, r.Detect.Rounds, 100*r.Detect.CoveredFrac, r.Detect.MeanVectorLen)
+	fmt.Printf("community: unpruned build %.1fms, %d edges\n", r.UnprunedBuildMs, r.UnprunedEdges)
+	for _, p := range r.Points {
+		fmt.Printf("community: minOverlap=%.3g build %.1fms (%.2fx), pruned %.1f%% of candidates, %.1f%% edges kept, hit floor %.3f (exact=%v)\n",
+			p.MinOverlap, p.BuildMs, p.Speedup, 100*p.PruneRatio, 100*p.EdgeKeepFrac, p.MinHitRatio, p.Exact)
+	}
+	fmt.Printf("community: incremental at minOverlap=%.3g: %.1fms pruned vs %.1fms unpruned (%.2fx) on %d dirty users\n",
+		r.Incremental.MinOverlap, r.Incremental.PrunedMs, r.Incremental.UnprunedMs, r.Incremental.Speedup, r.Incremental.DirtyUsers)
+	fmt.Printf("wrote %s\n", out)
+}

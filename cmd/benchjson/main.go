@@ -2,7 +2,11 @@
 // a machine-readable baseline (BENCH_simgraph.json) so the perf
 // trajectory of the inverted-index kernel is tracked PR over PR:
 //
-//	benchjson [-users 1200] [-seed 1] [-runs 3] [-observe 2000] [-out BENCH_simgraph.json]
+//	benchjson [-suite simgraph,propagation,shard,community] [-users 1200]
+//	          [-seed 1] [-runs 3] [-observe 2000] [-out BENCH_simgraph.json]
+//
+// The -suite flag selects which benchmark families run (comma-separated;
+// default all), so CI can smoke one family without paying for the rest.
 //
 // It measures, on the synthetic benchmark graph:
 //   - full similarity-graph build time, pairwise reference vs SimBatch
@@ -21,7 +25,10 @@
 // It also emits BENCH_propagation.json (see prop.go): the epoch-stamped
 // incremental propagation kernel vs the frozen reference on a streaming
 // replay (fixpoints verified bit-identical), and the postponed-batch
-// drain serial vs parallel.
+// drain serial vs parallel; BENCH_shard.json (see shard.go): the
+// consistent-hash router's scaling curve and quality delta; and
+// BENCH_community.json (see community.go): community-detection cost and
+// the cluster-pruned build's speedup-vs-quality curve.
 package main
 
 import (
@@ -91,6 +98,7 @@ func main() {
 	log.SetPrefix("benchjson: ")
 
 	var (
+		suite   = flag.String("suite", "simgraph,propagation,shard,community", "comma-separated benchmark families to run")
 		users   = flag.Int("users", 1200, "synthetic dataset size (matches bench_test.go)")
 		seed    = flag.Uint64("seed", 1, "generator seed")
 		runs    = flag.Int("runs", 3, "timing runs per variant (best kept)")
@@ -109,8 +117,14 @@ func main() {
 		shardRuns      = flag.Int("shardRuns", 1, "timing runs per fleet size (best kept; fleets rebuild per run)")
 		shardEvalUsers = flag.Int("shardEvalUsers", 300, "dataset size for the sharded-vs-oracle quality replay")
 		shardOut       = flag.String("shardOut", "BENCH_shard.json", "shard report output file")
+
+		pruneOverlaps      = flag.String("pruneOverlaps", "0,0.3,0.5,0.6,0.7", "comma-separated PruneMinOverlap settings for the community suite")
+		communityUsers     = flag.Int("communityUsers", 3000, "dense-follow dataset size for the community suite's timed builds")
+		communityEvalUsers = flag.Int("communityEvalUsers", 800, "dense-follow dataset size for the pruned-vs-oracle quality replay")
+		communityOut       = flag.String("communityOut", "BENCH_community.json", "community report output file")
 	)
 	flag.Parse()
+	suites := parseSuites(*suite)
 
 	ds, err := gen.Generate(gen.DefaultConfig(*users, *seed))
 	if err != nil {
@@ -118,21 +132,55 @@ func main() {
 	}
 	store := similarity.NewStore(ds.NumUsers(), ds.NumTweets(), ds.Actions)
 
+	kernelCfg := simgraph.DefaultConfig()
+	var kernelG *wgraph.Graph
+
+	if suites["simgraph"] {
+		kernelG = simgraphBench(ds, store, kernelCfg, *users, *seed, *runs, *observe, *out)
+	}
+
+	if suites["propagation"] {
+		if kernelG == nil {
+			kernelG = simgraph.Build(ds.Graph, store, kernelCfg)
+		}
+		var tracked []repro.UserID
+		for u := 0; u < ds.NumUsers(); u++ {
+			tracked = append(tracked, repro.UserID(u))
+		}
+		ctx := recsys.NewContext(ds, ds.Actions, tracked, *seed)
+		propagationBench(*propNodes, *propDeg, *propTweets, *propPerTweet, *runs, *seed,
+			ds, ctx, kernelG, *observe, *propOut)
+	}
+
+	if suites["shard"] {
+		if counts := parseShardCounts(*shards); len(counts) > 0 {
+			shardBench(*users, counts, *shardWriters, *shardReaders, *shardRuns, *seed,
+				*shardEvalUsers, *shardOut)
+		}
+	}
+
+	if suites["community"] {
+		communityBench(*communityUsers, *runs, *observe, *seed, parseOverlaps(*pruneOverlaps), *communityEvalUsers, *communityOut)
+	}
+}
+
+// simgraphBench runs the construction/refresh suite, writes out, and
+// returns the kernel-built graph for downstream suites.
+func simgraphBench(ds *dataset.Dataset, store *similarity.Store, kernelCfg simgraph.Config, users int, seed uint64, runs, observe int, out string) *wgraph.Graph {
 	var r report
 	r.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
 	r.GoVersion = runtime.Version()
 	r.CPUs = runtime.NumCPU()
 	r.GoMaxProcs = runtime.GOMAXPROCS(0)
-	r.Users = *users
-	r.Seed = *seed
-	r.Runs = *runs
+	r.Users = users
+	r.Seed = seed
+	r.Runs = runs
 
-	kernelCfg := simgraph.DefaultConfig()
 	pairCfg := kernelCfg
 	pairCfg.Pairwise = true
 
-	kernelG, kernelT := timedBuild(ds, store, kernelCfg, *runs)
-	pairG, pairT := timedBuild(ds, store, pairCfg, *runs)
+	kernelG, kernelT := timedBuild(ds, store, kernelCfg, runs)
+	pairG, pairT := timedBuild(ds, store, pairCfg, runs)
 	r.Build.Edges = kernelG.NumEdges()
 	r.Build.KernelMs = ms(kernelT)
 	r.Build.PairwiseMs = ms(pairT)
@@ -144,7 +192,7 @@ func main() {
 		log.Fatalf("kernel graph diverged from pairwise reference: %+v", simgraph.Diff(pairG, kernelG))
 	}
 
-	n := *observe
+	n := observe
 	if n > len(ds.Actions) {
 		n = len(ds.Actions)
 	}
@@ -155,7 +203,7 @@ func main() {
 		repro.UpdateIncremental,
 	}
 	for _, strat := range strategies {
-		r.Refresh = append(r.Refresh, measureRefresh(ds, strat, n, *runs))
+		r.Refresh = append(r.Refresh, measureRefresh(ds, strat, n, runs))
 	}
 	r.IncrementalExactOnDirty = incrementalExactOnDirty(ds, n)
 	if !r.IncrementalExactOnDirty {
@@ -167,7 +215,7 @@ func main() {
 		log.Fatal(err)
 	}
 	buf = append(buf, '\n')
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("build: %d edges, kernel %.1fms vs pairwise %.1fms (%.1fx), %.0f edges/sec\n",
@@ -189,20 +237,48 @@ func main() {
 			scratch.WriteStallMs/incr.WriteStallMs, scratch.BuildMs/incr.BuildMs,
 			incr.DirtyUsers, r.IncrementalExactOnDirty)
 	}
-	fmt.Printf("wrote %s\n", *out)
+	fmt.Printf("wrote %s\n", out)
+	return kernelG
+}
 
-	var tracked []repro.UserID
-	for u := 0; u < ds.NumUsers(); u++ {
-		tracked = append(tracked, repro.UserID(u))
+// parseSuites validates the -suite list against the known families.
+func parseSuites(s string) map[string]bool {
+	known := map[string]bool{"simgraph": true, "propagation": true, "shard": true, "community": true}
+	out := make(map[string]bool)
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		if !known[f] {
+			log.Fatalf("unknown -suite entry %q (known: simgraph, propagation, shard, community)", f)
+		}
+		out[f] = true
 	}
-	ctx := recsys.NewContext(ds, ds.Actions, tracked, *seed)
-	propagationBench(*propNodes, *propDeg, *propTweets, *propPerTweet, *runs, *seed,
-		ds, ctx, kernelG, *observe, *propOut)
+	if len(out) == 0 {
+		log.Fatal("-suite selected no benchmark family")
+	}
+	return out
+}
 
-	if counts := parseShardCounts(*shards); len(counts) > 0 {
-		shardBench(*users, counts, *shardWriters, *shardReaders, *shardRuns, *seed,
-			*shardEvalUsers, *shardOut)
+// parseOverlaps parses the -pruneOverlaps list into thresholds in [0, 1].
+func parseOverlaps(s string) []float64 {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil || v < 0 || v > 1 {
+			log.Fatalf("bad -pruneOverlaps entry %q", f)
+		}
+		out = append(out, v)
 	}
+	if len(out) == 0 {
+		log.Fatal("-pruneOverlaps selected no thresholds")
+	}
+	return out
 }
 
 // parseShardCounts parses the -shards list ("1,2,4"); empty disables the

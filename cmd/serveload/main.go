@@ -28,6 +28,7 @@
 //	          [-duration 10s] [-k 10] [-postpone] [-diverse]
 //	          [-shards 1] [-debug 127.0.0.1:6060] [-refresh-every 0]
 //	          [-refresh-strategy update-weights]
+//	          [-cluster-prune] [-prune-min-overlap 0]
 //	          [-wal-dir DIR] [-wal-sync interval] [-checkpoint-every 0]
 package main
 
@@ -70,6 +71,8 @@ func main() {
 		walSync  = flag.String("wal-sync", "interval", "WAL fsync policy: always, interval, or none")
 		ckEvery  = flag.Duration("checkpoint-every", 0, "background checkpoint period into -wal-dir (0 = never)")
 		shards   = flag.Int("shards", 1, "partition users across this many engine shards via the consistent-hash router (with -wal-dir each shard gets its own WAL+checkpoint subdirectory)")
+		prune    = flag.Bool("cluster-prune", false, "detect community embeddings at each refresh and pre-filter candidate generation with them")
+		pruneOv  = flag.Float64("prune-min-overlap", 0, "lossy prune threshold for -cluster-prune (0 = provably lossless certificate mode)")
 	)
 	flag.Parse()
 	if *shards > 1 && *diverse {
@@ -94,6 +97,8 @@ func main() {
 	opts := repro.DefaultEngineOptions()
 	opts.Train = train
 	opts.Postpone = *postpone
+	opts.ClusterPrune = *prune
+	opts.PruneMinOverlap = *pruneOv
 	start := time.Now()
 
 	// Both serving shapes — one engine, or a sharded fleet behind the

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bubbles"
+	"repro/internal/community"
 
 	"repro/internal/dataset"
 	"repro/internal/durable"
@@ -79,8 +81,26 @@ type EngineOptions struct {
 	TopicAlpha float64
 	// ColdStartFallback serves users absent from the similarity graph by
 	// aggregating their followees' recommendations — the GraphJet-style
-	// neighbourhood workaround the paper sketches in §4.1.
+	// neighbourhood workaround the paper sketches in §4.1. With
+	// ClusterPrune enabled the aggregation is community-aware: each
+	// followee's vote is weighted by its cluster overlap with the cold
+	// user (see coldStartRecommend).
 	ColdStartFallback bool
+	// ClusterPrune enables sparse community embeddings (internal/
+	// community): after every graph build the engine detects communities
+	// on the similarity graph via synchronous label propagation, and the
+	// next build prunes each user's candidate neighbourhood by cluster
+	// overlap before the SimBatch kernel scores it. The cold-start
+	// fallback becomes overlap-weighted at the same time. With
+	// PruneMinOverlap == 0 pruning is provably lossless (bit-identical
+	// graphs, kernel work still skipped); see simgraph.Config.
+	ClusterPrune bool
+	// PruneMinOverlap is the lossy prune threshold: candidates whose
+	// cluster overlap with the source falls below it are dropped before
+	// scoring. 0 keeps pruning exact. Quality cost at a given setting is
+	// measured by internal/eval (PruneQualityDelta) and the benchjson
+	// community suite.
+	PruneMinOverlap float64
 	// WAL, when non-nil, receives every action Observe accepts — before
 	// the engine state mutates, inside the exclusive lock, so the log
 	// order equals the apply order (WAL-before-apply). OpenEngine installs
@@ -150,6 +170,14 @@ type Engine struct {
 	// propagator is rebound to the current graph on checkout.
 	props sync.Pool
 
+	// clusters is the current community embedding (nil until the first
+	// detection, or always when ClusterPrune is off). Atomic because the
+	// readers span lock states: recommenderConfig is called under the
+	// read lock, the exclusive lock, and with no lock at all (refresh
+	// phase 2), and detection itself runs unlocked over the immutable
+	// installed graph.
+	clusters atomic.Pointer[community.Embeddings]
+
 	// wal is the durability hook from EngineOptions.WAL: Observe appends
 	// each accepted action before applying it (under the exclusive lock,
 	// so log order equals apply order). Nil for in-memory engines.
@@ -207,6 +235,9 @@ type Engine struct {
 	mInvalidSeeds *metrics.Counter   // engine/propagate/invalid_seeds
 	mObservedLen  *metrics.Gauge     // engine/observed_log/len
 	mWALDegraded  *metrics.Counter   // engine/wal/degraded_appends
+	mDetects      *metrics.Counter   // engine/community/detections
+	mDetectNs     *metrics.Histogram // engine/community/detect_ns
+	mClusters     *metrics.Gauge     // engine/community/clusters
 }
 
 // NewEngine trains an engine on the dataset: builds profiles from the
@@ -219,6 +250,10 @@ func NewEngine(ds *Dataset, opts EngineOptions) (*Engine, error) {
 	if err := e.rec.Init(e.ctx); err != nil {
 		return nil, err
 	}
+	// The first build necessarily ran unpruned (no previous graph to
+	// detect communities on); detecting here arms the pre-filter for
+	// every subsequent refresh.
+	e.detectClusters(e.rec.Graph())
 	e.maybeStartRefresher()
 	return e, nil
 }
@@ -237,6 +272,9 @@ func newEngineCore(ds *Dataset, opts EngineOptions) (*Engine, error) {
 	}
 	if opts.Tau < 0 || opts.Tau > 1 {
 		return nil, fmt.Errorf("repro: Tau %v out of [0,1]", opts.Tau)
+	}
+	if opts.PruneMinOverlap < 0 || opts.PruneMinOverlap > 1 {
+		return nil, fmt.Errorf("repro: PruneMinOverlap %v out of [0,1]", opts.PruneMinOverlap)
 	}
 	train := opts.Train
 	if train == nil {
@@ -272,10 +310,18 @@ func newEngineCore(ds *Dataset, opts EngineOptions) (*Engine, error) {
 	e.mInvalidSeeds = e.metrics.Counter("engine/propagate/invalid_seeds")
 	e.mObservedLen = e.metrics.Gauge("engine/observed_log/len")
 	e.mWALDegraded = e.metrics.Counter("engine/wal/degraded_appends")
+	e.mDetects = e.metrics.Counter("engine/community/detections")
+	e.mDetectNs = e.metrics.Histogram("engine/community/detect_ns")
+	e.mClusters = e.metrics.Gauge("engine/community/clusters")
 	e.store = similarity.NewStore(ds.NumUsers(), ds.NumTweets(), train)
 	e.store.Instrument(
 		e.metrics.Counter("similarity/simbatch/batch_calls"),
 		e.metrics.Counter("similarity/simbatch/pairwise_fallbacks"),
+	)
+	e.store.InstrumentPrune(
+		e.metrics.Counter("similarity/prune/candidates_in"),
+		e.metrics.Counter("similarity/prune/candidates_dropped"),
+		e.metrics.Counter("similarity/prune/kernel_calls_saved"),
 	)
 	if opts.TopicAlpha > 0 {
 		e.store.EnableTopics(func(t TweetID) int16 { return ds.Tweets[t].Topic }, opts.TopicAlpha)
@@ -302,11 +348,35 @@ func (e *Engine) recommenderConfig() simgraph.RecommenderConfig {
 	} else {
 		rcfg.Prop.Threshold = propagation.StaticThreshold(e.opts.StaticBeta)
 	}
+	rcfg.Graph.ClusterPrune = e.opts.ClusterPrune
+	rcfg.Graph.PruneMinOverlap = e.opts.PruneMinOverlap
+	rcfg.Graph.Clusters = e.clusters.Load()
 	rcfg.Postpone = e.opts.Postpone
 	rcfg.DrainWorkers = e.opts.DrainWorkers
 	rcfg.Metrics = e.metrics
 	return rcfg
 }
+
+// detectClusters re-detects community embeddings on g (which must be
+// immutable — an installed or about-to-be-installed similarity graph)
+// and publishes them for the candidate pre-filter and the cold-start
+// path. No engine lock is needed: graphs never mutate once built and
+// the embeddings pointer is atomic. No-op unless ClusterPrune is on.
+func (e *Engine) detectClusters(g *wgraph.Graph) {
+	if !e.opts.ClusterPrune {
+		return
+	}
+	start := time.Now()
+	emb := community.Detect(g, e.ds.Graph, community.DefaultConfig())
+	e.clusters.Store(emb)
+	e.mDetects.Inc()
+	e.mDetectNs.ObserveDuration(time.Since(start))
+	e.mClusters.Set(int64(emb.NumClusters()))
+}
+
+// Clusters returns the current community embeddings, or nil when
+// ClusterPrune is off (or no detection has run yet).
+func (e *Engine) Clusters() *community.Embeddings { return e.clusters.Load() }
 
 // Observe streams one retweet into the engine: it updates the user's
 // profile, re-propagates the tweet's share probabilities over the
@@ -416,7 +486,10 @@ func (e *Engine) ColdStartRecommend(u UserID, k int, now Timestamp) []Recommenda
 }
 
 // coldStartRecommend aggregates the followees' candidate lists, averaging
-// scores so tweets endorsed by several followees rank first. The followee
+// scores so tweets endorsed by several followees rank first — and, when
+// community embeddings exist (EngineOptions.ClusterPrune), weighting each
+// followee's contribution by 1 + its cluster overlap with the cold user,
+// so same-community followees dominate the fallback. The followee
 // pools filter the followees' own shares, not the cold user's, so the
 // aggregate is additionally filtered against the user's observed profile
 // and authorship — a cold-start user must never be served a tweet they
@@ -431,13 +504,25 @@ func (e *Engine) coldStartRecommend(u UserID, k int, now Timestamp) []Recommenda
 		i := sort.Search(len(profile), func(i int) bool { return profile[i] >= t })
 		return i < len(profile) && profile[i] == t
 	}
+	emb := e.clusters.Load()
 	agg := make(map[TweetID]float64)
 	for _, v := range followees {
+		// Community-aware weighting: a followee sharing the cold user's
+		// clusters gets up to a 2x vote (1 + overlap ∈ [1, 2]); with no
+		// embeddings every weight is exactly 1 and this is the original
+		// popularity aggregation. A truly cold user's own vector comes
+		// from the followee-label fill in community.Detect. The weight
+		// depends only on (u, v) and this engine's embeddings, so the
+		// sharded partial-sum merge contract above is preserved.
+		wv := 1.0
+		if emb != nil {
+			wv += emb.Overlap(u, v)
+		}
 		for _, r := range e.rec.Recommend(v, k, now) {
 			if e.ds.Tweets[r.Tweet].Author == u || shared(r.Tweet) {
 				continue
 			}
-			agg[r.Tweet] += r.Score
+			agg[r.Tweet] += r.Score * wv
 		}
 	}
 	if len(agg) == 0 {
@@ -753,6 +838,11 @@ func (e *Engine) RefreshGraphStats(strategy UpdateStrategy) RefreshStats {
 	e.mEdgesAdded.Add(uint64(st.EdgesAdded))
 	e.mEdgesRemoved.Add(uint64(st.EdgesRemoved))
 	e.mEdgesReweigh.Add(uint64(st.EdgesReweighted))
+	// Embeddings track graph churn: re-detect on the graph that was just
+	// installed, so the next refresh prunes against current communities.
+	// Runs after the locks are released — detection reads only the
+	// immutable graph and the shared follow graph.
+	e.detectClusters(g)
 	return st
 }
 

@@ -1,0 +1,58 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/community"
+	"repro/internal/simgraph"
+)
+
+// TestPruneQualityExactMode pins the harness against the exactness
+// guarantee: at PruneMinOverlap=0 the pruned build is bit-identical to
+// the oracle's, so the replay must report zero quality drift.
+func TestPruneQualityExactMode(t *testing.T) {
+	r, err := NewReplay(testDataset(t), testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := r.PruneQualityDelta(simgraph.DefaultRecommenderConfig(), community.DefaultConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.PrunedEdges != q.OracleEdges {
+		t.Fatalf("exact mode changed edges: %d vs %d", q.PrunedEdges, q.OracleEdges)
+	}
+	if q.Delta.MinHitRatio != 1 || q.Delta.MinCommonRatio != 1 {
+		t.Fatalf("exact mode drifted: hit %v common %v", q.Delta.MinHitRatio, q.Delta.MinCommonRatio)
+	}
+	if q.Clusters == 0 {
+		t.Fatal("no communities detected on the oracle graph")
+	}
+}
+
+// TestPruneQualityLossyBounds sanity-checks a lossy threshold: the
+// pruned graph can only shrink and every ratio stays in [0, 1].
+func TestPruneQualityLossyBounds(t *testing.T) {
+	r, err := NewReplay(testDataset(t), testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := r.PruneQualityDelta(simgraph.DefaultRecommenderConfig(), community.DefaultConfig(), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.PrunedEdges > q.OracleEdges {
+		t.Fatalf("pruned build grew: %d vs %d", q.PrunedEdges, q.OracleEdges)
+	}
+	for i := range q.Delta.Ks {
+		if hr := q.Delta.HitRatio[i]; hr < 0 {
+			t.Fatalf("k=%d hit ratio %v", q.Delta.Ks[i], hr)
+		}
+		if cr := q.Delta.CommonRatio[i]; cr < 0 || cr > 1 {
+			t.Fatalf("k=%d common ratio %v", q.Delta.Ks[i], cr)
+		}
+	}
+	if q.CoveredFrac <= 0 || q.CoveredFrac > 1 {
+		t.Fatalf("covered fraction %v", q.CoveredFrac)
+	}
+}

@@ -270,3 +270,72 @@ func TestAdjacencyInvariants(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// ExploreFiltered verdict semantics on a small fan:
+//
+//	0 → 1 → 3
+//	0 → 2 → 4, 2 → 5
+//
+// Keep retains a node without traversing through it; Drop hides its whole
+// subtree; KeepExpand behaves like plain Explore.
+func TestExploreFilteredVerdicts(t *testing.T) {
+	b := NewBuilder(6, 5)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(1, 3)
+	b.AddEdge(2, 4)
+	b.AddEdge(2, 5)
+	g := b.Build()
+
+	var bfs BoundedBFS
+	keep := func(nodes []ids.UserID) map[ids.UserID]bool {
+		m := map[ids.UserID]bool{}
+		for _, u := range nodes {
+			m[u] = true
+		}
+		return m
+	}
+
+	// All KeepExpand: identical to Explore.
+	nodes, _ := bfs.ExploreFiltered(g, 0, 2, func(ids.UserID, int8) Verdict { return KeepExpand })
+	want, _ := g.BFSBounded(0, 2)
+	if len(nodes) != len(want) {
+		t.Fatalf("KeepExpand-everything: got %v want %v", nodes, want)
+	}
+
+	// Keep node 2: it stays a result but 4 and 5 are never discovered.
+	nodes, _ = bfs.ExploreFiltered(g, 0, 2, func(v ids.UserID, _ int8) Verdict {
+		if v == 2 {
+			return Keep
+		}
+		return KeepExpand
+	})
+	got := keep(nodes)
+	if !got[1] || !got[2] || !got[3] || got[4] || got[5] {
+		t.Fatalf("Keep(2): got %v", nodes)
+	}
+
+	// Drop node 2: it vanishes along with its subtree.
+	nodes, _ = bfs.ExploreFiltered(g, 0, 2, func(v ids.UserID, _ int8) Verdict {
+		if v == 2 {
+			return Drop
+		}
+		return KeepExpand
+	})
+	got = keep(nodes)
+	if !got[1] || got[2] || !got[3] || got[4] || got[5] {
+		t.Fatalf("Drop(2): got %v", nodes)
+	}
+
+	// Hops are reported correctly to the predicate.
+	hops := map[ids.UserID]int8{}
+	bfs.ExploreFiltered(g, 0, 2, func(v ids.UserID, hop int8) Verdict {
+		hops[v] = hop
+		return KeepExpand
+	})
+	for v, wantHop := range map[ids.UserID]int8{1: 1, 2: 1, 3: 2, 4: 2, 5: 2} {
+		if hops[v] != wantHop {
+			t.Fatalf("node %d: hop %d, want %d", v, hops[v], wantHop)
+		}
+	}
+}

@@ -42,10 +42,11 @@ func (g *Graph) BFS(src ids.UserID, dist []int32) []int32 {
 // never clears or reallocates between calls. The zero value is ready to
 // use. Not safe for concurrent use; give each worker its own.
 type BoundedBFS struct {
-	epoch uint32
-	seen  []uint32
-	nodes []ids.UserID
-	dist  []int8
+	epoch  uint32
+	seen   []uint32
+	nodes  []ids.UserID
+	dist   []int8
+	expand []bool // ExploreFiltered only: whether nodes[i] gets traversed
 }
 
 // Explore returns the nodes at distance 1..maxHops from src (following
@@ -81,6 +82,73 @@ func (b *BoundedBFS) Explore(g *Graph, src ids.UserID, maxHops int) (nodes []ids
 			b.seen[v] = b.epoch
 			b.nodes = append(b.nodes, v)
 			b.dist = append(b.dist, d+1)
+		}
+	}
+	return b.nodes[1:], b.dist[1:]
+}
+
+// Verdict is ExploreFiltered's per-node decision. Keeping and expanding
+// are independent: a node can stay in the result without its out-edges
+// being traversed (Keep), which lets a caller retain direct neighbors as
+// candidates while refusing to discover anything through them.
+type Verdict uint8
+
+const (
+	// Drop removes the node from the result and never expands it.
+	Drop Verdict = iota
+	// Keep retains the node in the result but does not expand it.
+	Keep
+	// KeepExpand retains the node and traverses its out-edges.
+	KeepExpand
+)
+
+// ExploreFiltered is Explore with a node predicate: each newly-discovered
+// node gets a Verdict deciding whether it appears in the result and
+// whether the BFS traverses through it, so whole subtrees reachable only
+// through rejected nodes are skipped. src itself is always expanded. The
+// predicate is called once per newly-discovered node, in BFS order, with
+// the node's hop distance. This is the community-restricted exploration
+// the cluster pruner uses: under homophily, frontier nodes with low
+// cluster overlap lead to low-overlap candidates, so cutting them at the
+// frontier saves the expansion, the scoring, and the per-candidate
+// filtering downstream — while direct neighbors (explicit follow signal)
+// can still be kept as candidates without being expanded.
+func (b *BoundedBFS) ExploreFiltered(g *Graph, src ids.UserID, maxHops int, verdict func(v ids.UserID, hop int8) Verdict) (nodes []ids.UserID, dist []int8) {
+	if len(b.seen) < g.n {
+		b.seen = make([]uint32, g.n)
+		b.epoch = 0
+	}
+	b.epoch++
+	if b.epoch == 0 { // wrapped after 2^32 calls: clear and restart
+		for i := range b.seen {
+			b.seen[i] = 0
+		}
+		b.epoch = 1
+	}
+	b.nodes = append(b.nodes[:0], src)
+	b.dist = append(b.dist[:0], 0)
+	b.expand = append(b.expand[:0], true)
+	b.seen[src] = b.epoch
+	for head := 0; head < len(b.nodes); head++ {
+		d := b.dist[head]
+		if int(d) >= maxHops {
+			break
+		}
+		if !b.expand[head] {
+			continue
+		}
+		for _, v := range g.Out(b.nodes[head]) {
+			if b.seen[v] == b.epoch {
+				continue
+			}
+			b.seen[v] = b.epoch
+			ver := verdict(v, d+1)
+			if ver == Drop {
+				continue
+			}
+			b.nodes = append(b.nodes, v)
+			b.dist = append(b.dist, d+1)
+			b.expand = append(b.expand, ver == KeepExpand)
 		}
 	}
 	return b.nodes[1:], b.dist[1:]

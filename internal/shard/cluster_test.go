@@ -1,0 +1,54 @@
+package shard
+
+import (
+	"testing"
+
+	"repro"
+)
+
+// TestClusterColdStartFanout pins the cold-start contract under
+// ClusterPrune: (*repro.Engine).ColdStartRecommend is the per-shard
+// partial the router merges, so arming community embeddings on every
+// shard must leave the scatter-gather identity intact — the router's
+// answer for a cold user equals mergeTopK over the shards' partials,
+// each computed with that shard's own detected embeddings.
+func TestClusterColdStartFanout(t *testing.T) {
+	fx := newFixture(t, 60, 7)
+	fx.eopts.ClusterPrune = true
+	fx.eopts.PruneMinOverlap = 0.05
+	r := fx.newFleet(t, Options{Shards: 4})
+	fx.feed(t, r)
+
+	for i := 0; i < r.NumShards(); i++ {
+		if r.Shard(i).Clusters() == nil {
+			t.Fatalf("shard %d: no embeddings despite ClusterPrune", i)
+		}
+	}
+
+	const k = 10
+	coldServed := 0
+	for u := 0; u < fx.ds.NumUsers(); u++ {
+		uid := repro.UserID(u)
+		if len(r.Shard(r.Owner(uid)).Recommend(uid, k, fx.now)) > 0 {
+			continue // warm — fanout never triggers
+		}
+		partials := make([][]repro.Recommendation, r.NumShards())
+		for i := 0; i < r.NumShards(); i++ {
+			partials[i] = r.Shard(i).ColdStartRecommend(uid, k, fx.now)
+		}
+		want := mergeTopK(partials, k)
+		got := r.Recommend(uid, k, fx.now)
+		if len(got) != len(want) {
+			t.Fatalf("cold user %d: served %d, merged partials give %d", u, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("cold user %d rank %d: %+v vs %+v", u, i, got[i], want[i])
+			}
+		}
+		coldServed += len(got)
+	}
+	if coldServed == 0 {
+		t.Fatal("vacuous: no cold user was served by the fanout")
+	}
+}

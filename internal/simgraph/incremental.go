@@ -56,7 +56,10 @@ func UpdateIncremental(prev *wgraph.Graph, follow *graph.Graph, store *similarit
 	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
 
 	// Pass 1 — re-explore dirty users in parallel, same worker shape as
-	// Build but over the dirty list only.
+	// Build but over the dirty list only (including the same
+	// label-bucketed kernel index when cluster pruning is on, so dirty
+	// users stay bit-identical to a pruned from-scratch build).
+	idx := clusterIndexFor(store, cfg)
 	dirtyRuns := make([]wgraph.OutRun, len(ds))
 	workers := cfg.Workers
 	if workers > len(ds) {
@@ -89,7 +92,7 @@ func UpdateIncremental(prev *wgraph.Graph, follow *graph.Graph, store *similarit
 				}
 				for i := lo; i < hi; i++ {
 					u := ds[i]
-					edges := appendEdgesFor(nil, follow, store, u, cfg, &sc)
+					edges := appendEdgesFor(nil, follow, store, u, cfg, idx, &sc)
 					run := wgraph.OutRun{From: u, To: make([]ids.UserID, len(edges)), W: make([]float32, len(edges))}
 					for j, e := range edges {
 						run.To[j] = e.To

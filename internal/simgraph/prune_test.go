@@ -1,0 +1,167 @@
+package simgraph
+
+import (
+	"testing"
+
+	"repro/internal/community"
+	"repro/internal/graph"
+	"repro/internal/ids"
+	"repro/internal/similarity"
+	"repro/internal/wgraph"
+	"repro/internal/xrand"
+)
+
+// equalGraphs reports whether two weighted graphs are bit-identical.
+func equalGraphs(a, b *wgraph.Graph) bool {
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for u := 0; u < a.NumNodes(); u++ {
+		aTo, aW := a.Out(ids.UserID(u))
+		bTo, bW := b.Out(ids.UserID(u))
+		if !sameRun(aTo, aW, bTo, bW) {
+			return false
+		}
+	}
+	return true
+}
+
+// subsetGraph reports whether every edge of a exists in b with the same
+// weight (a ⊆ b).
+func subsetGraph(a, b *wgraph.Graph) bool {
+	for u := 0; u < a.NumNodes(); u++ {
+		aTo, aW := a.Out(ids.UserID(u))
+		for i, v := range aTo {
+			w, ok := b.Weight(ids.UserID(u), v)
+			if !ok || w != aW[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// pruneWorld builds the standard prune-test fixture: a random world, the
+// unpruned graph, and embeddings detected on it (with follow cold fill),
+// which is exactly how the engine seeds the pre-filter for the next
+// build generation.
+type pruneFixture struct {
+	cfg   Config
+	base  *wgraph.Graph
+	emb   *community.Embeddings
+	g     *graph.Graph
+	store *similarity.Store
+	rng   *xrand.RNG
+}
+
+func pruneWorld(seed uint64, users, tweets, actions int) pruneFixture {
+	g, store, rng := randIncrementalWorld(seed, users, tweets, actions)
+	cfg := DefaultConfig()
+	cfg.Tau = 1e-4
+	cfg.Workers = 1 + int(seed%4)
+	base := Build(g, store, cfg)
+	emb := community.Detect(base, g, community.DefaultConfig())
+	return pruneFixture{cfg: cfg, base: base, emb: emb, g: g, store: store, rng: rng}
+}
+
+// TestClusterPruneOffBitIdentical pins the satellite exactness escape
+// hatch, part 1: with ClusterPrune=false the Clusters field is inert and
+// the build is today's build, bit for bit.
+func TestClusterPruneOffBitIdentical(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		fx := pruneWorld(seed, 40, 60, 250)
+		off := fx.cfg
+		off.Clusters = fx.emb
+		off.ClusterPrune = false
+		off.PruneMinOverlap = 0.5 // must be ignored while ClusterPrune is off
+		if got := Build(fx.g, fx.store, off); !equalGraphs(got, fx.base) {
+			t.Fatalf("seed %d: ClusterPrune=false build differs from plain Build", seed)
+		}
+	}
+}
+
+// TestClusterPruneZeroOverlapExact pins part 2: ClusterPrune with
+// PruneMinOverlap=0 drops only candidates the mass certificate proves
+// below Tau, so the built graph stays bit-identical to the unpruned one.
+func TestClusterPruneZeroOverlapExact(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		fx := pruneWorld(seed, 40, 60, 250)
+		on := fx.cfg
+		on.Clusters = fx.emb
+		on.ClusterPrune = true
+		on.PruneMinOverlap = 0
+		if got := Build(fx.g, fx.store, on); !equalGraphs(got, fx.base) {
+			t.Fatalf("seed %d: exact-mode pruned build differs from unpruned", seed)
+		}
+	}
+}
+
+// TestClusterPruneSubset: a lossy threshold may only remove edges, never
+// add or reweight them.
+func TestClusterPruneSubset(t *testing.T) {
+	for _, minOv := range []float64{0.01, 0.05, 0.2, 0.9} {
+		fx := pruneWorld(3, 50, 70, 350)
+		on := fx.cfg
+		on.Clusters = fx.emb
+		on.ClusterPrune = true
+		on.PruneMinOverlap = minOv
+		got := Build(fx.g, fx.store, on)
+		if !subsetGraph(got, fx.base) {
+			t.Fatalf("minOverlap=%v: pruned build is not a subset of unpruned", minOv)
+		}
+	}
+}
+
+// TestClusterPruneIncremental: UpdateIncremental under a pruned config
+// keeps its contract — dirty users bit-identical to a from-scratch build
+// under the same (pruned) config.
+func TestClusterPruneIncremental(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		fx := pruneWorld(seed, 40, 60, 250)
+		on := fx.cfg
+		on.Clusters = fx.emb
+		on.ClusterPrune = true
+		on.PruneMinOverlap = 0.02
+		prev := Build(fx.g, fx.store, on)
+		for i := 0; i < 30; i++ {
+			fx.store.Observe(ids.UserID(fx.rng.Intn(40)), ids.TweetID(fx.rng.Intn(60)))
+		}
+		dirty := fx.store.DrainDirty(nil)
+		if len(dirty) == 0 {
+			t.Fatalf("seed %d: nobody dirty", seed)
+		}
+		inc := UpdateIncremental(prev, fx.g, fx.store, dirty, on)
+		fs := Build(fx.g, fx.store, on)
+		checkIncrementalContract(t, prev, inc, fs, fx.store, dirty, on)
+	}
+}
+
+// FuzzClusterPrune drives random worlds and thresholds and pins the two
+// prune invariants: the pruned build is always a subset of the unpruned
+// one, and at PruneMinOverlap=0 no edge is lost at all (bit-identical —
+// zero-overlap candidates are only dropped under a proof they score
+// below Tau).
+func FuzzClusterPrune(f *testing.F) {
+	f.Add(uint64(1), float64(0))
+	f.Add(uint64(7), float64(0.05))
+	f.Add(uint64(42), float64(0.5))
+	f.Fuzz(func(t *testing.T, seed uint64, minOverlap float64) {
+		if minOverlap < 0 || minOverlap > 1 {
+			t.Skip()
+		}
+		users := 10 + int(seed%30)
+		tweets := 15 + int(seed%40)
+		fx := pruneWorld(seed, users, tweets, 6*users)
+		on := fx.cfg
+		on.Clusters = fx.emb
+		on.ClusterPrune = true
+		on.PruneMinOverlap = minOverlap
+		got := Build(fx.g, fx.store, on)
+		if !subsetGraph(got, fx.base) {
+			t.Fatal("pruned build is not a subset of the unpruned build")
+		}
+		if minOverlap == 0 && !equalGraphs(got, fx.base) {
+			t.Fatal("exact mode (PruneMinOverlap=0) lost an edge")
+		}
+	})
+}

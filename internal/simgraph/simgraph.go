@@ -21,6 +21,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/community"
 	"repro/internal/graph"
 	"repro/internal/ids"
 	"repro/internal/similarity"
@@ -54,6 +55,31 @@ type Config struct {
 	// inverted-index SimBatch kernel. The two produce bit-identical
 	// graphs; the knob exists for verification and benchmark baselines.
 	Pairwise bool
+	// ClusterPrune enables the community pre-filter: candidates are
+	// dropped by cluster overlap against Clusters before the kernel
+	// scores them. At PruneMinOverlap == 0 only zero-overlap candidates
+	// PROVABLY below Tau are dropped (similarity.SimUpperBound — exact,
+	// the build stays bit-identical; the certificate is suspended while
+	// topic blending is on, since the bound covers only Definition 3.1).
+	// A positive PruneMinOverlap switches to community-restricted
+	// exploration: the 2-hop BFS itself refuses to keep OR expand
+	// frontier nodes whose overlap with the source is below the
+	// threshold, so low-overlap regions of N2(u) cost nothing — not the
+	// BFS, not the filter, not the kernel. Lossy (a high-overlap
+	// candidate reachable only through a low-overlap intermediate is
+	// skipped too), traded for build speed and measured by internal/eval;
+	// the pruned graph is always an edge-subset of the unpruned one. The
+	// lossy kernel also scatters over a label-bucketed posting index
+	// (similarity.SimBatchClustered) so posting-list segments owned by
+	// non-candidate communities are skipped as well. No-op while Clusters
+	// is nil (e.g. the first build, before any graph exists to detect
+	// communities on).
+	ClusterPrune bool
+	// PruneMinOverlap is the lossy prune threshold, see ClusterPrune.
+	PruneMinOverlap float64
+	// Clusters is the sparse community embedding the pre-filter consults;
+	// typically detected on the previous graph generation.
+	Clusters *community.Embeddings
 }
 
 // DefaultConfig returns the configuration used in the experiments.
@@ -86,6 +112,7 @@ func (c Config) withDefaults() Config {
 func Build(follow *graph.Graph, store *similarity.Store, cfg Config) *wgraph.Graph {
 	cfg = cfg.withDefaults()
 	n := follow.NumNodes()
+	idx := clusterIndexFor(store, cfg)
 
 	type task struct{ lo, hi int }
 	tasks := make(chan task, cfg.Workers*4)
@@ -100,7 +127,7 @@ func Build(follow *graph.Graph, store *similarity.Store, cfg Config) *wgraph.Gra
 			var sc buildScratch // BFS buffers, batch accumulators, top-M heap
 			for t := range tasks {
 				for u := t.lo; u < t.hi; u++ {
-					local = appendEdgesFor(local, follow, store, ids.UserID(u), cfg, &sc)
+					local = appendEdgesFor(local, follow, store, ids.UserID(u), cfg, idx, &sc)
 				}
 			}
 			results <- local
@@ -142,14 +169,69 @@ type buildScratch struct {
 	cands []ids.UserID
 	sims  []float64
 	top   []wgraph.Edge
+	// Clustered-kernel scratch: the candidates' distinct labels
+	// (ascending, shifted-by-one membership marks for dedup).
+	labels    []int32
+	labelSeen []bool
+	// Per-source dense overlap vector for the lossy prune's verdict calls.
+	overlap community.OverlapScratch
+}
+
+// clusterIndexFor builds the label-bucketed posting index the clustered
+// SimBatch kernel scatters over, when the config calls for it. One
+// linear pass over the inverted index, shared read-only by all workers.
+func clusterIndexFor(store *similarity.Store, cfg Config) *similarity.ClusterIndex {
+	if !cfg.ClusterPrune || cfg.Clusters == nil || cfg.Pairwise {
+		return nil
+	}
+	return store.BuildClusterIndex(cfg.Clusters.BucketLabels(), cfg.Clusters.NumClusters())
 }
 
 // appendEdgesFor explores from u and appends the surviving edges.
-func appendEdgesFor(edges []wgraph.Edge, follow *graph.Graph, store *similarity.Store, u ids.UserID, cfg Config, sc *buildScratch) []wgraph.Edge {
+func appendEdgesFor(edges []wgraph.Edge, follow *graph.Graph, store *similarity.Store, u ids.UserID, cfg Config, idx *similarity.ClusterIndex, sc *buildScratch) []wgraph.Edge {
 	if store.ProfileSize(u) < cfg.MinProfile {
 		return edges
 	}
-	nodes, dist := sc.bfs.Explore(follow, u, cfg.Hops)
+
+	// Lossy cluster pruning restricts the exploration itself: a frontier
+	// node whose cluster overlap with u is below the threshold is never
+	// expanded, so whole low-overlap regions of N2(u) are skipped before
+	// the kernel, the filter, or even the BFS pays for them (under
+	// homophily — Nguyen & Zheng, PAPERS.md — low-overlap followees lead
+	// to low-overlap candidates). Two carve-outs keep the loss bounded:
+	// direct (hop-1) neighbors are always retained as candidates — an
+	// explicit follow is stronger signal than a detected label, and
+	// scoring one candidate is ~12 ops — and nodes detection said nothing
+	// about (no membership at all) are never pruned: their overlap is
+	// zero for lack of evidence, not for dissimilarity. Exact mode
+	// (PruneMinOverlap == 0) keeps the full exploration: the certificate
+	// below must see every candidate to stay bit-identical.
+	lossy := cfg.ClusterPrune && cfg.Clusters != nil && cfg.PruneMinOverlap > 0
+	if lossy && cfg.Clusters.BucketLabel(u) == community.NoCluster {
+		lossy = false // unlabelled source: no evidence to prune on
+	}
+	var nodes []ids.UserID
+	var dist []int8
+	if lossy {
+		in, kept := 0, 0
+		cfg.Clusters.BeginSource(&sc.overlap, u)
+		nodes, dist = sc.bfs.ExploreFiltered(follow, u, cfg.Hops, func(v ids.UserID, hop int8) graph.Verdict {
+			in++
+			if cfg.Clusters.BucketLabel(v) == community.NoCluster ||
+				cfg.Clusters.OverlapSource(&sc.overlap, v) >= cfg.PruneMinOverlap {
+				kept++
+				return graph.KeepExpand
+			}
+			if hop == 1 {
+				kept++
+				return graph.Keep
+			}
+			return graph.Drop
+		})
+		store.NotePrune(in, kept)
+	} else {
+		nodes, dist = sc.bfs.Explore(follow, u, cfg.Hops)
+	}
 	nodes = capNeighborhood(nodes, dist, cfg.MaxNeighborhood)
 
 	// Users with empty profiles can never clear tau; dropping them here
@@ -160,9 +242,34 @@ func appendEdgesFor(edges []wgraph.Edge, follow *graph.Graph, store *similarity.
 			cands = append(cands, w)
 		}
 	}
-	sc.cands = cands
 
-	if cfg.Pairwise {
+	// Exact-mode pre-filter (PruneMinOverlap == 0): drop a candidate only
+	// when it shares no cluster with u AND the O(1) mass certificate
+	// proves its similarity cannot reach Tau anyway (only sim ≥ Tau
+	// candidates ever become edges), so the built graph stays
+	// bit-identical. Filtering compacts sc.cands in place.
+	if cfg.ClusterPrune && cfg.Clusters != nil && !lossy {
+		in := len(cands)
+		exact := !store.TopicsEnabled() // the bound covers Definition 3.1 only
+		kept := cands[:0]
+		for _, w := range cands {
+			if cfg.Clusters.Overlap(u, w) == 0 && exact && store.SimUpperBound(u, w) < cfg.Tau {
+				continue
+			}
+			kept = append(kept, w)
+		}
+		cands = kept
+		store.NotePrune(in, len(kept))
+	}
+	sc.cands = cands
+	return appendEdgesKernel(edges, store, u, cfg, idx, sc)
+}
+
+func appendEdgesKernel(edges []wgraph.Edge, store *similarity.Store, u ids.UserID, cfg Config, idx *similarity.ClusterIndex, sc *buildScratch) []wgraph.Edge {
+	cands := sc.cands
+
+	switch {
+	case cfg.Pairwise:
 		if cap(sc.sims) < len(cands) {
 			sc.sims = make([]float64, len(cands))
 		}
@@ -170,7 +277,26 @@ func appendEdgesFor(edges []wgraph.Edge, follow *graph.Graph, store *similarity.
 		for i, w := range cands {
 			sc.sims[i] = store.Sim(u, w)
 		}
-	} else {
+	case idx != nil:
+		// Clustered kernel: collect the candidates' distinct labels
+		// (ascending; -1 for unlabelled, stored shifted by one in the
+		// dedup marks) and scatter over those posting groups only.
+		nl := cfg.Clusters.NumClusters()
+		if len(sc.labelSeen) < nl+1 {
+			sc.labelSeen = make([]bool, nl+1)
+		}
+		for _, w := range cands {
+			sc.labelSeen[cfg.Clusters.BucketLabel(w)+1] = true
+		}
+		sc.labels = sc.labels[:0]
+		for l := 0; l <= nl; l++ {
+			if sc.labelSeen[l] {
+				sc.labels = append(sc.labels, int32(l-1))
+				sc.labelSeen[l] = false
+			}
+		}
+		sc.sims = store.SimBatchClustered(u, cands, sc.labels, idx, &sc.batch, sc.sims)
+	default:
 		sc.sims = store.SimBatch(u, cands, &sc.batch, sc.sims)
 	}
 

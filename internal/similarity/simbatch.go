@@ -33,6 +33,12 @@ type BatchScratch struct {
 	// Per-candidate accumulators: weighted intersection and its size.
 	num   []float64
 	inter []int32
+	// Matched-group spans recorded by SimBatchClustered's directory
+	// merge: spans for profile tweet i live in
+	// spanStart/spanEnd[spanOff[i]:spanOff[i+1]].
+	spanOff   []int32
+	spanStart []int32
+	spanEnd   []int32
 }
 
 // begin prepares the scratch for a call with the given store width and

@@ -55,12 +55,30 @@ type Store struct {
 	dirtyMark []bool
 	dirtyList []ids.UserID
 
+	// mass[u] is Σ_{t ∈ Lu} wt(t) — the total weight of u's profile,
+	// maintained incrementally by Observe: when a retweet moves tweet t's
+	// weight, the delta is applied to every current retweeter of t (the
+	// exact set whose mass contains the old weight), the same
+	// O(|retweeters(t)|) pass markRetweetersDirty already takes. It backs
+	// SimUpperBound, the provable prune certificate cluster pruning uses
+	// (see simgraph.Config.ClusterPrune).
+	mass []float64
+
 	// Kernel-path counters (see Instrument): how often SimBatch ran its
 	// scatter pass versus falling back to pairwise merges. Nil (no-op)
 	// until instrumented; atomic, so concurrent SimBatch readers may bump
 	// them freely.
 	mBatch    *metrics.Counter
 	mFallback *metrics.Counter
+
+	// Cluster-prune counters (see InstrumentPrune): candidates seen and
+	// dropped by the community pre-filter, and kernel invocations it
+	// emptied outright. Nil (no-op) until instrumented; shared by Clone
+	// like the kernel-path counters, so builds against store snapshots
+	// report into the live engine's registry.
+	mPruneIn      *metrics.Counter
+	mPruneDropped *metrics.Counter
+	mPruneSaved   *metrics.Counter
 
 	// Topic blending (§7 future work); see EnableTopics in topic.go.
 	topicOf    func(ids.TweetID) int16
@@ -75,6 +93,25 @@ type Store struct {
 func (s *Store) Instrument(batch, fallback *metrics.Counter) {
 	s.mBatch = batch
 	s.mFallback = fallback
+}
+
+// InstrumentPrune wires the cluster-prune counters: in counts candidates
+// the pre-filter inspected, dropped counts those it removed before the
+// kernel, saved counts kernel invocations whose candidate set it emptied
+// (the whole SimBatch pass skipped). Any may be nil.
+func (s *Store) InstrumentPrune(in, dropped, saved *metrics.Counter) {
+	s.mPruneIn = in
+	s.mPruneDropped = dropped
+	s.mPruneSaved = saved
+}
+
+// NotePrune records one pre-filter pass over a candidate neighbourhood.
+func (s *Store) NotePrune(in, kept int) {
+	s.mPruneIn.Add(uint64(in))
+	s.mPruneDropped.Add(uint64(in - kept))
+	if in > 0 && kept == 0 {
+		s.mPruneSaved.Inc()
+	}
 }
 
 // NewStore builds a store from a training action log.
@@ -105,7 +142,24 @@ func NewStore(numUsers, numTweets int, actions []dataset.Action) *Store {
 	}
 	s.rebuildWeights()
 	s.rebuildPostings()
+	s.rebuildMass()
 	return s
+}
+
+// rebuildMass recomputes every user's profile mass from the current
+// weights. Summation runs in ascending tweet order (profiles are
+// sorted), the same order the incremental path preserves.
+func (s *Store) rebuildMass() {
+	if s.mass == nil {
+		s.mass = make([]float64, len(s.profiles))
+	}
+	for u, p := range s.profiles {
+		m := 0.0
+		for _, t := range p {
+			m += float64(s.weights[t])
+		}
+		s.mass[u] = m
+	}
 }
 
 func dedupTweets(p []ids.TweetID) []ids.TweetID {
@@ -191,7 +245,17 @@ func (s *Store) Observe(u ids.UserID, t ids.TweetID) {
 		s.postings = append(s.postings, nil)
 	}
 	s.pop[t]++
+	oldW := s.weights[t]
 	s.weights[t] = popularityWeight(s.pop[t])
+	if delta := float64(s.weights[t]) - float64(oldW); delta != 0 {
+		// The weight of t moved: every current retweeter's profile mass
+		// contains the old weight. u is not yet in the posting list (the
+		// insert below), so a first-time retweet adds the fresh weight
+		// separately; a duplicate retweet finds u already posted here.
+		for _, v := range s.postings[t] {
+			s.mass[v] += delta
+		}
+	}
 	p := s.profiles[u]
 	i := sort.Search(len(p), func(i int) bool { return p[i] >= t })
 	if i < len(p) && p[i] == t {
@@ -212,7 +276,8 @@ func (s *Store) Observe(u ids.UserID, t ids.TweetID) {
 	copy(pl[j+1:], pl[j:])
 	pl[j] = u
 	s.postings[t] = pl
-	s.markRetweetersDirty(t) // includes u, just inserted
+	s.mass[u] += float64(s.weights[t]) // t joined u's profile
+	s.markRetweetersDirty(t)           // includes u, just inserted
 	if s.topicOf != nil {
 		s.bumpTopic(u, s.topicOf(t))
 	}
@@ -266,14 +331,18 @@ func (s *Store) DrainDirty(buf []ids.UserID) []ids.UserID {
 // outside its lock: writers stall for the copy, not the build.
 func (s *Store) Clone() *Store {
 	c := &Store{
-		profiles:   cloneNested(s.profiles),
-		pop:        append([]int32(nil), s.pop...),
-		weights:    append([]float32(nil), s.weights...),
-		postings:   cloneNested(s.postings),
-		mBatch:     s.mBatch,
-		mFallback:  s.mFallback,
-		topicOf:    s.topicOf,
-		topicAlpha: s.topicAlpha,
+		profiles:      cloneNested(s.profiles),
+		pop:           append([]int32(nil), s.pop...),
+		weights:       append([]float32(nil), s.weights...),
+		postings:      cloneNested(s.postings),
+		mass:          append([]float64(nil), s.mass...),
+		mBatch:        s.mBatch,
+		mFallback:     s.mFallback,
+		mPruneIn:      s.mPruneIn,
+		mPruneDropped: s.mPruneDropped,
+		mPruneSaved:   s.mPruneSaved,
+		topicOf:       s.topicOf,
+		topicAlpha:    s.topicAlpha,
 	}
 	if s.topicVecs != nil {
 		c.topicVecs = cloneNested(s.topicVecs)
@@ -304,6 +373,44 @@ func (s *Store) Profile(u ids.UserID) []ids.TweetID { return s.profiles[u] }
 
 // ProfileSize returns |Lu|.
 func (s *Store) ProfileSize(u ids.UserID) int { return len(s.profiles[u]) }
+
+// ProfileMass returns Σ_{t ∈ Lu} wt(t), maintained incrementally.
+func (s *Store) ProfileMass(u ids.UserID) float64 { return s.mass[u] }
+
+// massSlack absorbs the floating-point drift between the incrementally
+// maintained profile mass and an exact re-summation (both are sums of
+// the same non-negative float32 weights; the relative divergence is
+// bounded by profile-length × machine epsilon, many orders of magnitude
+// below this). Inflating the bound keeps SimUpperBound a true upper
+// bound in floating point, which the provable prune drop relies on.
+const massSlack = 1 + 1e-9
+
+// SimUpperBound returns a cheap, provable upper bound on the pure
+// Definition 3.1 similarity tweetSim(u, w):
+//
+//	sim(u,w) = Σ_{t ∈ Lu∩Lw} wt(t) / |Lu ∪ Lw|
+//	         ≤ min(M(u), M(w)) / max(|Lu|, |Lw|)
+//
+// because the intersection sum is at most either profile's total mass
+// and the union is at least the larger profile. The bound does NOT
+// cover the topic-blended Sim (EnableTopics adds a second term);
+// callers using it as a pruning certificate must check TopicsEnabled.
+// O(1): both masses are maintained incrementally.
+func (s *Store) SimUpperBound(u, w ids.UserID) float64 {
+	lu, lw := len(s.profiles[u]), len(s.profiles[w])
+	if lu == 0 || lw == 0 {
+		return 0
+	}
+	m := s.mass[u]
+	if mw := s.mass[w]; mw < m {
+		m = mw
+	}
+	den := lu
+	if lw > den {
+		den = lw
+	}
+	return m / float64(den) * massSlack
+}
 
 // Popularity returns m(i) for a tweet.
 func (s *Store) Popularity(t ids.TweetID) int32 {

@@ -261,6 +261,9 @@ func bootFromCheckpoint(ck *durable.Checkpoint, eopts EngineOptions) (*Engine, e
 		return nil, err
 	}
 	e.rec.InitWithGraph(e.ctx, ck.Graph)
+	// Same post-build step NewEngine runs: arm the community pre-filter
+	// on the recovered graph so refreshes prune from the first pass.
+	e.detectClusters(ck.Graph)
 	e.maybeStartRefresher()
 	return e, nil
 }
