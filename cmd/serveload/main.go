@@ -39,7 +39,6 @@ import (
 	"net/http"
 	"os"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,6 +46,7 @@ import (
 	"repro"
 	"repro/internal/dataset"
 	"repro/internal/gen"
+	"repro/internal/loadgen"
 	"repro/internal/metrics"
 	"repro/internal/shard"
 )
@@ -244,13 +244,15 @@ func main() {
 	now := test[len(test)-1].Time
 
 	var (
-		wg       sync.WaitGroup
-		stop     = make(chan struct{})
-		writes   atomic.Int64
-		reads    atomic.Int64
-		readNS   atomic.Int64 // total nanoseconds spent inside reads
-		sampleMu sync.Mutex
-		samples  []time.Duration // reservoir of read latencies
+		wg     sync.WaitGroup
+		stop   = make(chan struct{})
+		writes atomic.Int64
+		reads  atomic.Int64
+		readNS atomic.Int64 // total nanoseconds spent inside reads
+		// Read latencies go through a genuine reservoir (uniform over the
+		// whole run, deterministic seed) so long-run percentiles measure
+		// steady state, not the first minute's warm-up.
+		samples = loadgen.NewReservoir(1<<16, *seed)
 	)
 
 	// Writer: stream the test split in order, looping if the clock runs
@@ -294,11 +296,7 @@ func main() {
 				readNS.Add(int64(el))
 				reads.Add(1)
 				if i%64 == 0 {
-					sampleMu.Lock()
-					if len(samples) < 1<<16 {
-						samples = append(samples, el)
-					}
-					sampleMu.Unlock()
+					samples.Observe(el)
 				}
 				u = (u + 13) % ds.NumUsers()
 			}
@@ -342,11 +340,12 @@ func main() {
 	fmt.Printf("reads : %9d  (%.0f req/s, mean %v)\n", nr, float64(nr)/secs,
 		(time.Duration(readNS.Load()) / time.Duration(max64(nr, 1))).Round(time.Microsecond))
 	fmt.Printf("writes: %9d  (%.0f obs/s)\n", nw, float64(nw)/secs)
-	if len(samples) > 0 {
-		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
-		for _, p := range []float64{0.50, 0.90, 0.99} {
-			idx := int(p * float64(len(samples)-1))
-			fmt.Printf("read p%.0f: %v\n", p*100, samples[idx].Round(time.Microsecond))
+	if samples.Len() > 0 {
+		ps := []float64{0.50, 0.90, 0.99}
+		qs := samples.Quantiles(ps...)
+		for i, p := range ps {
+			fmt.Printf("read p%.0f: %v  (reservoir of %d from %d sampled reads)\n",
+				p*100, qs[i].Round(time.Microsecond), samples.Len(), samples.Seen())
 		}
 	}
 

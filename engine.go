@@ -178,6 +178,14 @@ type Engine struct {
 	// installed graph.
 	clusters atomic.Pointer[community.Embeddings]
 
+	// onChanged is the score-change hook (SetOnScoresChanged): serving
+	// layers hang cache invalidation here. Atomic because it is installed
+	// after construction and read on every Observe/propagation, possibly
+	// under the exclusive lock or on drain workers. The indirection
+	// through fireScoresChanged means recommenders built later (refresh
+	// swaps) keep firing the currently installed hook.
+	onChanged atomic.Pointer[func(users []UserID)]
+
 	// wal is the durability hook from EngineOptions.WAL: Observe appends
 	// each accepted action before applying it (under the exclusive lock,
 	// so log order equals apply order). Nil for in-memory engines.
@@ -235,6 +243,9 @@ type Engine struct {
 	mInvalidSeeds *metrics.Counter   // engine/propagate/invalid_seeds
 	mObservedLen  *metrics.Gauge     // engine/observed_log/len
 	mWALDegraded  *metrics.Counter   // engine/wal/degraded_appends
+	mBatches      *metrics.Counter   // engine/observe/batches
+	mBatchNs      *metrics.Histogram // engine/observe/batch_ns (whole-batch write path)
+	mBatchSize    *metrics.Histogram // engine/observe/batch_size (actions per batch)
 	mDetects      *metrics.Counter   // engine/community/detections
 	mDetectNs     *metrics.Histogram // engine/community/detect_ns
 	mClusters     *metrics.Gauge     // engine/community/clusters
@@ -310,6 +321,9 @@ func newEngineCore(ds *Dataset, opts EngineOptions) (*Engine, error) {
 	e.mInvalidSeeds = e.metrics.Counter("engine/propagate/invalid_seeds")
 	e.mObservedLen = e.metrics.Gauge("engine/observed_log/len")
 	e.mWALDegraded = e.metrics.Counter("engine/wal/degraded_appends")
+	e.mBatches = e.metrics.Counter("engine/observe/batches")
+	e.mBatchNs = e.metrics.Histogram("engine/observe/batch_ns")
+	e.mBatchSize = e.metrics.Histogram("engine/observe/batch_size")
 	e.mDetects = e.metrics.Counter("engine/community/detections")
 	e.mDetectNs = e.metrics.Histogram("engine/community/detect_ns")
 	e.mClusters = e.metrics.Gauge("engine/community/clusters")
@@ -354,7 +368,35 @@ func (e *Engine) recommenderConfig() simgraph.RecommenderConfig {
 	rcfg.Postpone = e.opts.Postpone
 	rcfg.DrainWorkers = e.opts.DrainWorkers
 	rcfg.Metrics = e.metrics
+	rcfg.OnChanged = e.fireScoresChanged
 	return rcfg
+}
+
+// SetOnScoresChanged installs (or, with nil, removes) the score-change
+// hook: fn is called with every user whose recommendation list may have
+// changed — the sharer of each observed action plus every user whose
+// propagated score moved — and with a nil slice when everything may
+// have changed at once (a graph refresh swapped the recommender).
+//
+// fn may be called concurrently with itself, from Observe callers,
+// drain workers, or refresh goroutines, sometimes while engine locks
+// are held: it must be fast, safe for concurrent use, and must not call
+// back into the Engine. Serving layers hang cache invalidation here
+// (see internal/server).
+func (e *Engine) SetOnScoresChanged(fn func(users []UserID)) {
+	if fn == nil {
+		e.onChanged.Store(nil)
+		return
+	}
+	e.onChanged.Store(&fn)
+}
+
+// fireScoresChanged invokes the installed hook, if any. users == nil
+// means "every user" (full invalidation).
+func (e *Engine) fireScoresChanged(users []UserID) {
+	if fn := e.onChanged.Load(); fn != nil {
+		(*fn)(users)
+	}
 }
 
 // detectClusters re-detects community embeddings on g (which must be
@@ -446,36 +488,20 @@ func (e *Engine) Observe(u UserID, t TweetID, at Timestamp) error {
 // highest predicted share probability first. Safe for any number of
 // concurrent callers.
 func (e *Engine) Recommend(u UserID, k int, now Timestamp) []Recommendation {
-	if int(u) >= e.ds.NumUsers() || k <= 0 {
-		return nil
-	}
-	start := time.Now()
-	defer func() {
-		e.mRecommendLat.ObserveDuration(time.Since(start))
-		e.mRecommends.Inc()
-	}()
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	scored := e.rec.Recommend(u, k, now)
-	if len(scored) == 0 && e.opts.ColdStartFallback {
-		e.mColdStarts.Inc()
-		return e.coldStartRecommend(u, k, now)
-	}
-	out := make([]Recommendation, len(scored))
-	for i, s := range scored {
-		out[i] = Recommendation{Tweet: s.Tweet, Score: s.Score}
-	}
+	out, _ := e.RecommendWithColdStart(u, k, now)
 	return out
 }
 
 // ColdStartRecommend runs the followee-aggregation fallback directly,
 // regardless of EngineOptions.ColdStartFallback and of whether u has
-// pool candidates of their own. It exists for routers that partition
-// users across engines (internal/shard): a cold user's followees may be
-// tracked on several engines, and the router reconstructs the global
-// fallback by summing each engine's partial aggregate — every engine
-// normalizes by the user's full followee count, so partial sums over
-// disjoint followee subsets merge exactly. Safe for concurrent callers.
+// pool candidates of their own, and truncates the aggregate to the k
+// best. Safe for concurrent callers.
+//
+// Routers that partition users across engines must NOT merge these
+// truncated lists: a tweet whose global (summed) score belongs in the
+// merged top-k can sit below rank k on every single shard and be
+// truncated out of all partials before the merge ever sees it. Use
+// ColdStartPartial for scatter-gather.
 func (e *Engine) ColdStartRecommend(u UserID, k int, now Timestamp) []Recommendation {
 	if int(u) >= e.ds.NumUsers() || k <= 0 {
 		return nil
@@ -485,16 +511,60 @@ func (e *Engine) ColdStartRecommend(u UserID, k int, now Timestamp) []Recommenda
 	return e.coldStartRecommend(u, k, now)
 }
 
-// coldStartRecommend aggregates the followees' candidate lists, averaging
-// scores so tweets endorsed by several followees rank first — and, when
-// community embeddings exist (EngineOptions.ClusterPrune), weighting each
-// followee's contribution by 1 + its cluster overlap with the cold user,
-// so same-community followees dominate the fallback. The followee
-// pools filter the followees' own shares, not the cold user's, so the
-// aggregate is additionally filtered against the user's observed profile
-// and authorship — a cold-start user must never be served a tweet they
-// already shared or wrote. Callers hold e.mu (read side suffices).
+// ColdStartPartial returns this engine's UNtruncated cold-start
+// aggregate for u: every candidate tweet the locally tracked followees
+// contribute, averaged over u's full followee count. k bounds each
+// followee's contributing recommendation list (it is part of the
+// fallback's definition), not the result length, and the result order
+// is unspecified — callers rank after merging.
+//
+// This is the scatter-gather primitive for routers that partition users
+// across engines (internal/shard): a cold user's followees may be
+// tracked on several engines, and the router reconstructs the global
+// fallback by summing the partial aggregates — every engine normalizes
+// by the user's full followee count, so partial sums over disjoint
+// followee subsets merge exactly — and only then keeping the top k.
+// Safe for concurrent callers.
+func (e *Engine) ColdStartPartial(u UserID, k int, now Timestamp) []Recommendation {
+	if int(u) >= e.ds.NumUsers() || k <= 0 {
+		return nil
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.coldStartAggregate(u, k, now)
+}
+
+// coldStartRecommend ranks the followee aggregate and keeps the k best.
+// Callers hold e.mu (read side suffices).
 func (e *Engine) coldStartRecommend(u UserID, k int, now Timestamp) []Recommendation {
+	aggregate := e.coldStartAggregate(u, k, now)
+	if len(aggregate) == 0 {
+		return nil
+	}
+	top := recsys.NewTopK(k)
+	for _, r := range aggregate {
+		top.Offer(r.Tweet, r.Score)
+	}
+	ranked := top.Ranked()
+	out := make([]Recommendation, len(ranked))
+	for i, r := range ranked {
+		out[i] = Recommendation{Tweet: r.Tweet, Score: r.Score}
+	}
+	return out
+}
+
+// coldStartAggregate aggregates the followees' candidate lists without
+// truncation, averaging scores so tweets endorsed by several followees
+// rank first — and, when community embeddings exist
+// (EngineOptions.ClusterPrune), weighting each followee's contribution
+// by 1 + its cluster overlap with the cold user, so same-community
+// followees dominate the fallback. The followee pools filter the
+// followees' own shares, not the cold user's, so the aggregate is
+// additionally filtered against the user's observed profile and
+// authorship — a cold-start user must never be served a tweet they
+// already shared or wrote. Result order is unspecified. Callers hold
+// e.mu (read side suffices).
+func (e *Engine) coldStartAggregate(u UserID, k int, now Timestamp) []Recommendation {
 	followees := e.ds.Graph.Out(u)
 	if len(followees) == 0 {
 		return nil
@@ -529,14 +599,9 @@ func (e *Engine) coldStartRecommend(u UserID, k int, now Timestamp) []Recommenda
 		return nil
 	}
 	inv := 1 / float64(len(followees))
-	top := recsys.NewTopK(k)
+	out := make([]Recommendation, 0, len(agg))
 	for t, sum := range agg {
-		top.Offer(t, sum*inv)
-	}
-	ranked := top.Ranked()
-	out := make([]Recommendation, len(ranked))
-	for i, r := range ranked {
-		out[i] = Recommendation{Tweet: r.Tweet, Score: r.Score}
+		out = append(out, Recommendation{Tweet: t, Score: sum * inv})
 	}
 	return out
 }
@@ -827,6 +892,12 @@ func (e *Engine) RefreshGraphStats(strategy UpdateStrategy) RefreshStats {
 	st.Compacted = dropped
 	st.LockHold = time.Since(locked)
 	e.mu.Unlock()
+
+	// The swap may have changed any user's servable list (new graph, new
+	// pools): nil means full invalidation. Fired strictly after the
+	// install, so a cache fill racing the refresh is always either
+	// computed on the new recommender or invalidated here.
+	e.fireScoresChanged(nil)
 
 	e.mRefreshes.Inc()
 	e.mRefreshBuild.ObserveDuration(st.BuildTime)

@@ -1,0 +1,101 @@
+package loadgen
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestReservoirUniform is the regression test for the first-N "reservoir"
+// bug: feed a stream whose first half is fast (warm-up) and second half
+// slow (steady state). A first-N sampler reports the warm-up median; a
+// genuine reservoir's sample median lands in the slow half.
+func TestReservoirUniform(t *testing.T) {
+	r := NewReservoir(1024, 7)
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		if i < n/2 {
+			r.Observe(1 * time.Microsecond)
+		} else {
+			r.Observe(1 * time.Millisecond)
+		}
+	}
+	if r.Seen() != n {
+		t.Fatalf("seen %d, want %d", r.Seen(), n)
+	}
+	if r.Len() != 1024 {
+		t.Fatalf("sample size %d, want 1024", r.Len())
+	}
+	slow := 0
+	for _, q := range r.Quantiles(func() []float64 {
+		qs := make([]float64, 101)
+		for i := range qs {
+			qs[i] = float64(i) / 100
+		}
+		return qs
+	}()...) {
+		if q >= time.Millisecond {
+			slow++
+		}
+	}
+	// The slow half should hold ~50% of the sample; 30%..70% leaves wide
+	// slack for sampling noise at 1024 samples while still failing hard
+	// for a first-N sampler (which would hold 0%).
+	if slow < 30 || slow > 70 {
+		t.Fatalf("slow-half share of quantile sweep = %d%%, want ~50%%", slow)
+	}
+}
+
+func TestReservoirDeterministic(t *testing.T) {
+	a, b := NewReservoir(64, 42), NewReservoir(64, 42)
+	for i := 0; i < 10_000; i++ {
+		d := time.Duration(i) * time.Nanosecond
+		a.Observe(d)
+		b.Observe(d)
+	}
+	qa := a.Quantiles(0.5, 0.9, 0.99)
+	qb := b.Quantiles(0.5, 0.9, 0.99)
+	for i := range qa {
+		if qa[i] != qb[i] {
+			t.Fatalf("same seed diverged: %v vs %v", qa, qb)
+		}
+	}
+}
+
+func TestReservoirSmallStream(t *testing.T) {
+	r := NewReservoir(16, 1)
+	if got := r.Quantiles(0.5); got[0] != 0 {
+		t.Fatalf("empty reservoir quantile = %v, want 0", got[0])
+	}
+	r.Observe(5 * time.Millisecond)
+	qs := r.Quantiles(0, 0.5, 1)
+	for _, q := range qs {
+		if q != 5*time.Millisecond {
+			t.Fatalf("single-sample quantiles = %v", qs)
+		}
+	}
+	if r.Len() != 1 || r.Seen() != 1 {
+		t.Fatalf("len=%d seen=%d", r.Len(), r.Seen())
+	}
+}
+
+func TestReservoirConcurrent(t *testing.T) {
+	r := NewReservoir(256, 3)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				r.Observe(time.Duration(w*i) * time.Nanosecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Seen() != 40_000 {
+		t.Fatalf("seen %d, want 40000", r.Seen())
+	}
+	if r.Len() != 256 {
+		t.Fatalf("len %d, want 256", r.Len())
+	}
+}

@@ -3,17 +3,61 @@ package metrics
 import (
 	"net/http"
 	"net/http/pprof"
+	"strings"
 )
 
+// AcceptsJSON reports whether an Accept header value asks for JSON. The
+// header is a comma-separated list of media ranges, each optionally
+// carrying parameters ("application/json; charset=utf-8, text/plain;
+// q=0.5"), so the match parses each range down to its media type instead
+// of comparing the whole header string: parameters are stripped, the
+// type is case-folded, and a range whose q-value is explicitly zero is a
+// refusal, not a request. Exported so every HTTP surface in the repo
+// negotiates the same way (internal/server reuses it via Handler and for
+// its own endpoints).
+func AcceptsJSON(accept string) bool {
+	for _, rng := range strings.Split(accept, ",") {
+		mediaType, params, _ := strings.Cut(rng, ";")
+		mediaType = strings.ToLower(strings.TrimSpace(mediaType))
+		if mediaType != "application/json" && mediaType != "application/*" {
+			continue
+		}
+		if refusesMediaRange(params) {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// refusesMediaRange reports whether a media range's parameter list
+// carries an explicit q=0 (the RFC 9110 spelling of "never send this"),
+// allowing the decimal forms q=0. / q=0.0 / q=0.00 / q=0.000.
+func refusesMediaRange(params string) bool {
+	for _, p := range strings.Split(params, ";") {
+		key, val, ok := strings.Cut(p, "=")
+		if !ok || strings.ToLower(strings.TrimSpace(key)) != "q" {
+			continue
+		}
+		val = strings.TrimSpace(val)
+		num, frac, _ := strings.Cut(val, ".")
+		if num == "0" && strings.Trim(frac, "0") == "" {
+			return true
+		}
+	}
+	return false
+}
+
 // Handler serves snapshots over HTTP: text by default, JSON with
-// ?format=json (or an application/json Accept header). src is called per
-// request, so the handler always serves fresh values; it is typically
-// Engine.Metrics or Registry.Snapshot.
+// ?format=json (or an Accept header naming application/json — matched as
+// a parsed media-range list, so parameters and multi-value lists
+// negotiate correctly). src is called per request, so the handler always
+// serves fresh values; it is typically Engine.Metrics or
+// Registry.Snapshot.
 func Handler(src func() Snapshot) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		s := src()
-		if req.URL.Query().Get("format") == "json" ||
-			req.Header.Get("Accept") == "application/json" {
+		if req.URL.Query().Get("format") == "json" || AcceptsJSON(req.Header.Get("Accept")) {
 			b, err := s.MarshalJSONIndent()
 			if err != nil {
 				http.Error(w, err.Error(), http.StatusInternalServerError)

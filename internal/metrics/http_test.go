@@ -45,6 +45,59 @@ func TestHandlerJSON(t *testing.T) {
 	}
 }
 
+func TestAcceptsJSON(t *testing.T) {
+	cases := []struct {
+		accept string
+		want   bool
+	}{
+		{"", false},
+		{"text/plain", false},
+		{"application/json", true},
+		{"application/JSON", true},
+		{" application/json ", true},
+		{"application/json; charset=utf-8", true},
+		{"application/json;q=0.9", true},
+		{"text/html, application/json;q=0.8, */*;q=0.1", true},
+		{"text/plain, application/*", true},
+		{"application/json-patch+json", false},
+		{"application/json;q=0", false},
+		{"application/json; q=0.000", false},
+		{"application/json; charset=utf-8; q=0", false},
+		{"text/*;q=0", false},
+	}
+	for _, c := range cases {
+		if got := AcceptsJSON(c.accept); got != c.want {
+			t.Errorf("AcceptsJSON(%q) = %v, want %v", c.accept, got, c.want)
+		}
+	}
+}
+
+// TestHandlerAcceptNegotiation pins the bug the exact-equality check had:
+// an Accept header with parameters or multiple ranges must still get
+// JSON, and a plain-text preference must still get text.
+func TestHandlerAcceptNegotiation(t *testing.T) {
+	h := Handler(testSnapshot)
+	cases := []struct {
+		accept   string
+		wantJSON bool
+	}{
+		{"application/json; charset=utf-8", true},
+		{"text/html, application/json;q=0.9", true},
+		{"text/plain", false},
+		{"application/json;q=0", false},
+	}
+	for _, c := range cases {
+		req := httptest.NewRequest("GET", "/debug/metrics", nil)
+		req.Header.Set("Accept", c.accept)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		gotJSON := rec.Header().Get("Content-Type") == "application/json"
+		if gotJSON != c.wantJSON {
+			t.Errorf("Accept %q: served JSON=%v, want %v", c.accept, gotJSON, c.wantJSON)
+		}
+	}
+}
+
 func TestDebugMux(t *testing.T) {
 	mux := NewDebugMux(testSnapshot)
 	for _, path := range []string{"/debug/metrics", "/debug/pprof/"} {

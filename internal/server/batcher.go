@@ -1,0 +1,108 @@
+package server
+
+import (
+	"sync"
+
+	"repro"
+	"repro/internal/metrics"
+)
+
+// pendingObserve is one waiter in the coalescing queue; done carries
+// its ObserveBatch slot error back to the HTTP handler goroutine.
+type pendingObserve struct {
+	action repro.Action
+	done   chan error
+}
+
+// batcher coalesces concurrent single-action writes into ObserveBatch
+// calls. The shape is a classic group commit: at most one flusher is in
+// the backend at a time, every writer that arrives while a flush is in
+// flight queues behind it, and the next flush takes the whole queue —
+// so under load, batch size self-tunes to the arrival rate and N
+// writers pay one exclusive-lock entry and one fsync between them,
+// while an idle server still flushes every lone write immediately (no
+// latency floor from a timer).
+type batcher struct {
+	backend  Backend
+	maxBatch int
+
+	mu       sync.Mutex
+	pending  []pendingObserve
+	flushing bool
+
+	mFlushes   *metrics.Counter   // server/batch/flushes
+	mCoalesced *metrics.Counter   // server/batch/coalesced (actions that shared a flush)
+	mSize      *metrics.Histogram // server/batch/size
+}
+
+func newBatcher(b Backend, maxBatch int, reg *metrics.Registry) *batcher {
+	if maxBatch <= 0 {
+		maxBatch = 512
+	}
+	return &batcher{
+		backend:    b,
+		maxBatch:   maxBatch,
+		mFlushes:   reg.Counter("server/batch/flushes"),
+		mCoalesced: reg.Counter("server/batch/coalesced"),
+		mSize:      reg.Histogram("server/batch/size"),
+	}
+}
+
+// Observe submits one action and blocks until its batch commits,
+// returning the action's own slot error (the engine batch contract:
+// nil, a degraded-durability wrap of repro.ErrWALRecordLogged, or a
+// rejection).
+func (b *batcher) Observe(a repro.Action) error {
+	w := pendingObserve{action: a, done: make(chan error, 1)}
+	b.mu.Lock()
+	b.pending = append(b.pending, w)
+	if b.flushing {
+		// A flush is in the backend; it (or its successor) will drain us.
+		b.mu.Unlock()
+		return <-w.done
+	}
+	b.flushing = true
+	b.mu.Unlock()
+	b.flushOnce()
+	return <-w.done
+}
+
+// flushOnce drains one maxBatch slice of the queue on the calling
+// goroutine — the "leader", the writer that found the queue idle, whose
+// own action is always in the slice it flushes — and, if followers
+// queued behind the flush, hands the flusher role to a fresh goroutine
+// instead of looping: the leader's HTTP response must not wait out
+// other people's batches. At most one flusher exists at any moment
+// (flushing stays true across the handoff), which is what makes the
+// batch ride a single WAL group commit.
+func (b *batcher) flushOnce() {
+	b.mu.Lock()
+	if len(b.pending) == 0 {
+		b.flushing = false
+		b.mu.Unlock()
+		return
+	}
+	batch := b.pending
+	if len(batch) > b.maxBatch {
+		batch = batch[:b.maxBatch]
+		b.pending = append([]pendingObserve(nil), b.pending[b.maxBatch:]...)
+	} else {
+		b.pending = nil
+	}
+	b.mu.Unlock()
+
+	actions := make([]repro.Action, len(batch))
+	for i, w := range batch {
+		actions[i] = w.action
+	}
+	errs := b.backend.ObserveBatch(actions)
+	b.mFlushes.Inc()
+	b.mSize.Observe(int64(len(batch)))
+	if len(batch) > 1 {
+		b.mCoalesced.Add(uint64(len(batch) - 1))
+	}
+	for i, w := range batch {
+		w.done <- errs[i]
+	}
+	go b.flushOnce()
+}

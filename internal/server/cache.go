@@ -1,0 +1,218 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro"
+	"repro/internal/metrics"
+)
+
+// cacheShards is the lock fan-out; power of two so the shard pick is a
+// mask on the user ID.
+const cacheShards = 16
+
+// reqKey identifies one cacheable request shape for a user. The "now"
+// timestamp is part of the identity: recommendations are
+// freshness-filtered, so the same user and k at a different now is a
+// different answer, and a cache that ignored that would trade the
+// bit-identity contract for hit ratio.
+type reqKey struct {
+	k   int
+	now repro.Timestamp
+}
+
+// fillToken carries the validity horizon a fill was computed under; Put
+// drops the fill if either coordinate moved while the backend was
+// computing, so a response computed before an invalidation can never
+// overwrite the invalidation (the lost-update race a TTL cache papers
+// over and a correctness cache must close).
+type fillToken struct {
+	user  repro.UserID
+	ver   uint64
+	epoch uint64
+}
+
+type userEntry struct {
+	byReq map[reqKey][]repro.Recommendation
+}
+
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[repro.UserID]*userEntry
+	vers    map[repro.UserID]uint64
+	size    int
+}
+
+// recCache is the delta-invalidated per-user recommendation cache.
+//
+// Invalidation is exact, not temporal: the backend's score-change hook
+// names the users whose lists may have moved (the sharer of each
+// observed retweet plus every user whose propagated score changed), and
+// a graph refresh — which can move anything — clears everything via a
+// global epoch bump. Entries are therefore valid until proven stale,
+// with no TTL.
+//
+// All methods are safe for concurrent use. Invalidate is O(1) per user
+// (a version bump and a map delete) because it can run under backend
+// locks, on the write path.
+type recCache struct {
+	shards  [cacheShards]cacheShard
+	epoch   atomic.Uint64
+	perUser int // cached request shapes per user (per-user LRU-free cap)
+	maxSize int // total entries per shard before eviction
+
+	mHits      *metrics.Counter // server/cache/hits
+	mMisses    *metrics.Counter // server/cache/misses
+	mFills     *metrics.Counter // server/cache/fills
+	mStale     *metrics.Counter // server/cache/stale_fills
+	mInvals    *metrics.Counter // server/cache/invalidations
+	mFullInval *metrics.Counter // server/cache/full_invalidations
+	mEvicts    *metrics.Counter // server/cache/evictions
+	mBypass    *metrics.Counter // server/cache/bypass
+}
+
+func newRecCache(reg *metrics.Registry, maxEntries int) *recCache {
+	c := &recCache{
+		perUser: 4,
+		maxSize: maxEntries/cacheShards + 1,
+	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[repro.UserID]*userEntry)
+		c.shards[i].vers = make(map[repro.UserID]uint64)
+	}
+	c.mHits = reg.Counter("server/cache/hits")
+	c.mMisses = reg.Counter("server/cache/misses")
+	c.mFills = reg.Counter("server/cache/fills")
+	c.mStale = reg.Counter("server/cache/stale_fills")
+	c.mInvals = reg.Counter("server/cache/invalidations")
+	c.mFullInval = reg.Counter("server/cache/full_invalidations")
+	c.mEvicts = reg.Counter("server/cache/evictions")
+	c.mBypass = reg.Counter("server/cache/bypass")
+	return c
+}
+
+func (c *recCache) shard(u repro.UserID) *cacheShard {
+	return &c.shards[uint64(u)&(cacheShards-1)]
+}
+
+// Get returns the cached list for (u, k, now) and whether it was
+// present. The returned slice is shared and must not be mutated.
+func (c *recCache) Get(u repro.UserID, k int, now repro.Timestamp) ([]repro.Recommendation, bool) {
+	s := c.shard(u)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e := s.entries[u]; e != nil {
+		if recs, ok := e.byReq[reqKey{k, now}]; ok {
+			c.mHits.Inc()
+			return recs, true
+		}
+	}
+	c.mMisses.Inc()
+	return nil, false
+}
+
+// Begin opens a fill: it captures the validity horizon (user version +
+// global epoch) BEFORE the caller computes the response, so Put can
+// tell whether an invalidation raced the computation.
+func (c *recCache) Begin(u repro.UserID) fillToken {
+	s := c.shard(u)
+	s.mu.Lock()
+	ver := s.vers[u]
+	s.mu.Unlock()
+	return fillToken{user: u, ver: ver, epoch: c.epoch.Load()}
+}
+
+// Put stores a computed list under the token's horizon. A fill whose
+// user version or epoch moved since Begin is dropped (counted as a
+// stale fill): the computation may predate the invalidation that moved
+// them, and caching it would serve a pre-invalidation answer as fresh.
+func (c *recCache) Put(tok fillToken, k int, now repro.Timestamp, recs []repro.Recommendation) {
+	if c.epoch.Load() != tok.epoch {
+		c.mStale.Inc()
+		return
+	}
+	s := c.shard(tok.user)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.vers[tok.user] != tok.ver || c.epoch.Load() != tok.epoch {
+		c.mStale.Inc()
+		return
+	}
+	e := s.entries[tok.user]
+	if e == nil {
+		if s.size >= c.maxSize {
+			// Random-victim eviction (map order): the workload's hot set
+			// re-fills instantly and exactness never depends on residency.
+			for victim, ve := range s.entries {
+				s.size -= len(ve.byReq)
+				delete(s.entries, victim)
+				c.mEvicts.Inc()
+				break
+			}
+		}
+		e = &userEntry{byReq: make(map[reqKey][]repro.Recommendation, 1)}
+		s.entries[tok.user] = e
+	}
+	key := reqKey{k, now}
+	if _, exists := e.byReq[key]; !exists {
+		if len(e.byReq) >= c.perUser {
+			for old := range e.byReq {
+				delete(e.byReq, old)
+				s.size--
+				c.mEvicts.Inc()
+				break
+			}
+		}
+		s.size++
+	}
+	e.byReq[key] = recs
+	c.mFills.Inc()
+}
+
+// Invalidate drops every cached shape for the named users and bumps
+// their versions so in-flight fills for them are discarded. A nil slice
+// is the full invalidation: the global epoch moves and every shard is
+// cleared. Called from the backend's score-change hook, possibly under
+// backend locks — both paths are short and never call back out.
+func (c *recCache) Invalidate(users []repro.UserID) {
+	if users == nil {
+		c.epoch.Add(1)
+		for i := range c.shards {
+			s := &c.shards[i]
+			s.mu.Lock()
+			s.entries = make(map[repro.UserID]*userEntry)
+			s.size = 0
+			s.mu.Unlock()
+		}
+		c.mFullInval.Inc()
+		return
+	}
+	for _, u := range users {
+		s := c.shard(u)
+		s.mu.Lock()
+		s.vers[u]++
+		if e := s.entries[u]; e != nil {
+			s.size -= len(e.byReq)
+			delete(s.entries, u)
+		}
+		s.mu.Unlock()
+		c.mInvals.Inc()
+	}
+}
+
+// Bypass counts a response served around the cache (cold-start results
+// have no invalidation signal and are never stored).
+func (c *recCache) Bypass() { c.mBypass.Inc() }
+
+// Len returns the resident entry count (for tests).
+func (c *recCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.size
+		s.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/metrics"
+)
+
+func testCache() *recCache { return newRecCache(metrics.NewRegistry(), 1024) }
+
+func recsOf(ts ...repro.TweetID) []repro.Recommendation {
+	out := make([]repro.Recommendation, len(ts))
+	for i, t := range ts {
+		out[i] = repro.Recommendation{Tweet: t, Score: float64(i + 1)}
+	}
+	return out
+}
+
+func TestCacheFillHitInvalidate(t *testing.T) {
+	c := testCache()
+	const u = repro.UserID(3)
+	if _, ok := c.Get(u, 5, 100); ok {
+		t.Fatal("empty cache hit")
+	}
+	tok := c.Begin(u)
+	want := recsOf(7, 8)
+	c.Put(tok, 5, 100, want)
+	got, ok := c.Get(u, 5, 100)
+	if !ok || len(got) != 2 || got[0] != want[0] {
+		t.Fatalf("after fill: got %v, %v", got, ok)
+	}
+	// Different k and different now are different answers.
+	if _, ok := c.Get(u, 6, 100); ok {
+		t.Fatal("hit on different k")
+	}
+	if _, ok := c.Get(u, 5, 101); ok {
+		t.Fatal("hit on different now")
+	}
+	c.Invalidate([]repro.UserID{u})
+	if _, ok := c.Get(u, 5, 100); ok {
+		t.Fatal("hit after invalidation")
+	}
+}
+
+// TestCacheStaleFillDropped pins the lost-update guard: a fill whose
+// token predates an invalidation must not be stored — the computation
+// may have read pre-invalidation state.
+func TestCacheStaleFillDropped(t *testing.T) {
+	c := testCache()
+	const u = repro.UserID(9)
+	tok := c.Begin(u)
+	c.Invalidate([]repro.UserID{u}) // lands mid-computation
+	c.Put(tok, 3, 50, recsOf(1))
+	if _, ok := c.Get(u, 3, 50); ok {
+		t.Fatal("stale fill was cached over an invalidation")
+	}
+	// A fresh fill after the invalidation is accepted.
+	tok = c.Begin(u)
+	c.Put(tok, 3, 50, recsOf(2))
+	if _, ok := c.Get(u, 3, 50); !ok {
+		t.Fatal("fresh fill rejected")
+	}
+}
+
+// TestCacheEpochInvalidation covers the nil (full) invalidation: every
+// user's entries go, and fills begun before the epoch bump are dropped.
+func TestCacheEpochInvalidation(t *testing.T) {
+	c := testCache()
+	for u := repro.UserID(0); u < 40; u++ {
+		c.Put(c.Begin(u), 5, 10, recsOf(repro.TweetID(u)))
+	}
+	if c.Len() != 40 {
+		t.Fatalf("resident = %d, want 40", c.Len())
+	}
+	straggler := c.Begin(repro.UserID(41))
+	c.Invalidate(nil)
+	if c.Len() != 0 {
+		t.Fatalf("resident after epoch bump = %d, want 0", c.Len())
+	}
+	for u := repro.UserID(0); u < 40; u++ {
+		if _, ok := c.Get(u, 5, 10); ok {
+			t.Fatalf("user %d survived the full invalidation", u)
+		}
+	}
+	c.Put(straggler, 5, 10, recsOf(99))
+	if _, ok := c.Get(41, 5, 10); ok {
+		t.Fatal("pre-epoch fill was cached after the full invalidation")
+	}
+}
+
+// TestCacheInvalidationUntouchedUsersSurvive checks that per-user
+// invalidation is surgical: other users' entries stay resident.
+func TestCacheInvalidationUntouchedUsersSurvive(t *testing.T) {
+	c := testCache()
+	c.Put(c.Begin(1), 5, 10, recsOf(1))
+	c.Put(c.Begin(2), 5, 10, recsOf(2))
+	c.Invalidate([]repro.UserID{1})
+	if _, ok := c.Get(1, 5, 10); ok {
+		t.Fatal("invalidated user still cached")
+	}
+	if _, ok := c.Get(2, 5, 10); !ok {
+		t.Fatal("untouched user was dropped")
+	}
+}
+
+func TestCachePerUserShapeCap(t *testing.T) {
+	c := testCache()
+	const u = repro.UserID(5)
+	for now := repro.Timestamp(0); now < 20; now++ {
+		c.Put(c.Begin(u), 5, now, recsOf(repro.TweetID(now)))
+	}
+	if got := c.Len(); got > c.perUser {
+		t.Fatalf("user holds %d shapes, cap is %d", got, c.perUser)
+	}
+}

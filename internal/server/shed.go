@@ -1,0 +1,171 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// shedder is the admission controller. It windows the backend's own
+// recommend-latency histograms — the same instruments the benchmarks
+// report, so the shedding signal and the published tail are one number
+// — and refuses new recommendation work (429 + Retry-After at the HTTP
+// layer) while the windowed p99 sits above the budget.
+//
+// The histograms are cumulative, so a window is the bucket-wise delta
+// between two snapshots; an all-time p99 would take minutes to notice
+// an overload and hours to forgive one. Windows are re-evaluated lazily
+// on the admission path (no ticker goroutine): the first request past
+// the window boundary pays one snapshot diff, everyone else reads a
+// cached verdict.
+//
+// Disengagement is probe-based: shedding stops new samples from
+// reaching the histograms, so an engaged window with too few samples
+// to estimate a tail reads as "the storm has passed" and admission
+// resumes. Under a sustained storm the next window re-engages — the
+// controller oscillates between shedding and probing, which is exactly
+// the bounded-tail behaviour the overload test pins (p99 of ADMITTED
+// work stays near the budget instead of collapsing with the queue).
+type shedder struct {
+	hists      []*metrics.Histogram
+	budget     time.Duration // p99 ceiling; 0 disables shedding
+	window     time.Duration
+	retryAfter time.Duration
+	minSamples uint64
+	now        func() time.Time
+
+	mu      sync.Mutex
+	prev    []metrics.HistogramSnapshot
+	nextAt  time.Time
+	engaged bool
+
+	mAdmitted *metrics.Counter // server/shed/admitted
+	mShed     *metrics.Counter // server/shed/shed
+	mEngaged  *metrics.Counter // server/shed/engagements
+	gEngaged  *metrics.Gauge   // server/shed/engaged (0/1)
+	gP99      *metrics.Gauge   // server/shed/window_p99_ns
+}
+
+func newShedder(hists []*metrics.Histogram, budget, window, retryAfter time.Duration, now func() time.Time, reg *metrics.Registry) *shedder {
+	if window <= 0 {
+		window = 250 * time.Millisecond
+	}
+	if retryAfter <= 0 {
+		retryAfter = time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	s := &shedder{
+		hists:      hists,
+		budget:     budget,
+		window:     window,
+		retryAfter: retryAfter,
+		minSamples: 20,
+		now:        now,
+		prev:       snapshotAll(hists),
+		mAdmitted:  reg.Counter("server/shed/admitted"),
+		mShed:      reg.Counter("server/shed/shed"),
+		mEngaged:   reg.Counter("server/shed/engagements"),
+		gEngaged:   reg.Gauge("server/shed/engaged"),
+		gP99:       reg.Gauge("server/shed/window_p99_ns"),
+	}
+	s.nextAt = s.now().Add(window)
+	return s
+}
+
+// Admit decides one recommendation request: true to serve, false to
+// shed. RetryAfter is the hint to attach on a shed.
+func (s *shedder) Admit() bool {
+	if s.budget <= 0 {
+		s.mAdmitted.Inc()
+		return true
+	}
+	s.mu.Lock()
+	if t := s.now(); !t.Before(s.nextAt) {
+		s.evaluateLocked()
+		s.nextAt = t.Add(s.window)
+	}
+	engaged := s.engaged
+	s.mu.Unlock()
+	if engaged {
+		s.mShed.Inc()
+		return false
+	}
+	s.mAdmitted.Inc()
+	return true
+}
+
+// RetryAfter returns the client back-off hint for shed responses.
+func (s *shedder) RetryAfter() time.Duration { return s.retryAfter }
+
+// evaluateLocked recomputes the verdict from the last window's delta.
+func (s *shedder) evaluateLocked() {
+	cur := snapshotAll(s.hists)
+	delta := deltaMerge(s.prev, cur)
+	s.prev = cur
+	if delta.Count < s.minSamples {
+		// Too few admitted requests to estimate a tail: either the
+		// storm passed, or shedding itself starved the signal. Probe.
+		if s.engaged {
+			s.engaged = false
+			s.gEngaged.Set(0)
+		}
+		return
+	}
+	p99 := delta.Quantile(0.99)
+	s.gP99.Set(p99)
+	over := time.Duration(p99) > s.budget
+	if over && !s.engaged {
+		s.mEngaged.Inc()
+		s.gEngaged.Set(1)
+	} else if !over && s.engaged {
+		s.gEngaged.Set(0)
+	}
+	s.engaged = over
+}
+
+func snapshotAll(hists []*metrics.Histogram) []metrics.HistogramSnapshot {
+	out := make([]metrics.HistogramSnapshot, len(hists))
+	for i, h := range hists {
+		out[i] = h.Snapshot()
+	}
+	return out
+}
+
+// deltaMerge subtracts prev from cur per histogram and per bucket, then
+// merges the deltas into one snapshot: the distribution of everything
+// observed during the window, across every engine. Bucket edges are
+// fixed (log2), so subtraction and merge are both keyed on Upper. Max
+// is cumulative and cannot be windowed; the merged Max is only used to
+// clamp Quantile, so the cumulative value is a safe (conservative)
+// stand-in.
+func deltaMerge(prev, cur []metrics.HistogramSnapshot) metrics.HistogramSnapshot {
+	var out metrics.HistogramSnapshot
+	byUpper := make(map[int64]uint64)
+	for i := range cur {
+		out.Count += cur[i].Count
+		out.Sum += cur[i].Sum
+		if cur[i].Max > out.Max {
+			out.Max = cur[i].Max
+		}
+		for _, b := range cur[i].Buckets {
+			byUpper[b.Upper] += b.Count
+		}
+		if i < len(prev) {
+			out.Count -= prev[i].Count
+			out.Sum -= prev[i].Sum
+			for _, b := range prev[i].Buckets {
+				byUpper[b.Upper] -= b.Count
+			}
+		}
+	}
+	for j := 0; j < metrics.NumBuckets(); j++ {
+		upper := metrics.BucketUpper(j)
+		if n := byUpper[upper]; n > 0 {
+			out.Buckets = append(out.Buckets, metrics.Bucket{Upper: upper, Count: n})
+		}
+	}
+	return out
+}

@@ -7,7 +7,7 @@ import (
 )
 
 // TestClusterColdStartFanout pins the cold-start contract under
-// ClusterPrune: (*repro.Engine).ColdStartRecommend is the per-shard
+// ClusterPrune: (*repro.Engine).ColdStartPartial is the per-shard
 // partial the router merges, so arming community embeddings on every
 // shard must leave the scatter-gather identity intact — the router's
 // answer for a cold user equals mergeTopK over the shards' partials,
@@ -34,7 +34,7 @@ func TestClusterColdStartFanout(t *testing.T) {
 		}
 		partials := make([][]repro.Recommendation, r.NumShards())
 		for i := 0; i < r.NumShards(); i++ {
-			partials[i] = r.Shard(i).ColdStartRecommend(uid, k, fx.now)
+			partials[i] = r.Shard(i).ColdStartPartial(uid, k, fx.now)
 		}
 		want := mergeTopK(partials, k)
 		got := r.Recommend(uid, k, fx.now)

@@ -23,7 +23,7 @@ import (
 // must be nil: ownership is the ring's job. eopts.WAL must be nil (use
 // Open for durable fleets). eopts.ColdStartFallback is forced off on the
 // shard engines — the router implements cold start itself, as a
-// scatter-gather over (*repro.Engine).ColdStartRecommend, so a cold
+// scatter-gather over (*repro.Engine).ColdStartPartial, so a cold
 // user's followee aggregate spans the whole fleet instead of one shard.
 func New(ds *repro.Dataset, eopts repro.EngineOptions, opts Options) (*Router, error) {
 	ring, err := NewRing(opts.Shards, opts.Replicas, opts.Seed)

@@ -59,11 +59,19 @@ func (h *errHolder) get() error {
 	return h.first
 }
 
-// asyncErr is lazily attached to the Router by startQueues.
+// asyncErr is lazily attached to the Router by startQueues. Fatal apply
+// errors (action neither logged nor applied) and degraded appends (the
+// action WAS applied and reached the WAL, but its durability is in
+// doubt — the engine reports these as ErrWALRecordLogged) are tracked
+// separately: conflating them either hid durability loss behind a clean
+// Flush, or would now make a degraded-but-serving stream look fatally
+// broken.
 type asyncState struct {
-	errs     errHolder
-	mErrors  *metrics.Counter // router/async/errors
-	mApplied *metrics.Counter // router/async/applied
+	errs      errHolder
+	degraded  errHolder
+	mErrors   *metrics.Counter // router/async/errors
+	mDegraded *metrics.Counter // router/async/degraded
+	mApplied  *metrics.Counter // router/async/applied
 }
 
 var errAsyncDisabled = errors.New("shard: ObserveAsync requires Options.QueueDepth > 0")
@@ -75,8 +83,9 @@ func (r *Router) startQueues() {
 		return
 	}
 	r.async = &asyncState{
-		mErrors:  r.reg.Counter("router/async/errors"),
-		mApplied: r.reg.Counter("router/async/applied"),
+		mErrors:   r.reg.Counter("router/async/errors"),
+		mDegraded: r.reg.Counter("router/async/degraded"),
+		mApplied:  r.reg.Counter("router/async/applied"),
 	}
 	r.queues = make([]*shardQueue, len(r.shards))
 	for i := range r.shards {
@@ -94,6 +103,9 @@ func (r *Router) startQueues() {
 // recorded and counted but do not stop the applier: the stream must keep
 // moving, and the producer learns about the degradation from Flush (or
 // the router/async/errors counter) rather than from a wedged queue.
+// A degraded append (ErrWALRecordLogged) counts as applied — the engine
+// did apply and log the action — but is recorded separately so Flush can
+// surface that WAL durability is in doubt instead of returning nil.
 func (r *Router) applierLoop(shard int, q *shardQueue) {
 	defer close(q.done)
 	for qa := range q.ch {
@@ -102,10 +114,14 @@ func (r *Router) applierLoop(shard int, q *shardQueue) {
 			continue
 		}
 		q.depth.Add(-1)
-		if err := r.observeShard(shard, qa.user, qa.tweet, qa.at); err != nil && !errors.Is(err, repro.ErrWALRecordLogged) {
-			r.async.errs.set(err)
-			r.async.mErrors.Inc()
-			continue
+		if err := r.observeShard(shard, qa.user, qa.tweet, qa.at); err != nil {
+			if !errors.Is(err, repro.ErrWALRecordLogged) {
+				r.async.errs.set(err)
+				r.async.mErrors.Inc()
+				continue
+			}
+			r.async.degraded.set(err)
+			r.async.mDegraded.Inc()
 		}
 		r.async.mApplied.Inc()
 	}
@@ -130,9 +146,13 @@ func (r *Router) ObserveAsync(u repro.UserID, t repro.TweetID, at repro.Timestam
 
 // Flush blocks until every action enqueued before the call has been
 // applied on its shard, then reports the first asynchronous apply error
-// recorded so far (nil when the whole stream applied cleanly). Flush
-// must not race with ObserveAsync on the same actions it is meant to
-// cover — the barrier covers what was enqueued strictly before it.
+// recorded so far (nil when the whole stream applied cleanly and every
+// append was durably logged). A fatal apply error wins; otherwise a
+// degraded append — applied and logged, durability in doubt — surfaces
+// as an error satisfying errors.Is(err, repro.ErrWALRecordLogged), so
+// the producer can distinguish "lost actions" from "fsync in doubt".
+// Flush must not race with ObserveAsync on the same actions it is meant
+// to cover — the barrier covers what was enqueued strictly before it.
 func (r *Router) Flush() error {
 	if r.queues == nil {
 		return errAsyncDisabled
@@ -146,7 +166,10 @@ func (r *Router) Flush() error {
 	for _, b := range barriers {
 		<-b
 	}
-	return r.async.errs.get()
+	if err := r.async.errs.get(); err != nil {
+		return err
+	}
+	return r.async.degraded.get()
 }
 
 // stopQueues flushes and stops the appliers; Close calls it before

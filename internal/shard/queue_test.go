@@ -1,0 +1,90 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro"
+)
+
+// degradedLog is an ActionLog whose appends reach the log but report a
+// post-write durability failure, the way a WAL behaves when the record
+// hit the OS buffer and the fsync after it failed. Per the ActionLog
+// contract the engine applies the action anyway and surfaces an error
+// wrapping ErrWALRecordLogged.
+type degradedLog struct{ next uint64 }
+
+func (l *degradedLog) Append(a repro.Action) (uint64, error) {
+	idx := l.next
+	l.next++
+	return idx, fmt.Errorf("stub fsync failed: %w", repro.ErrWALRecordLogged)
+}
+
+func (l *degradedLog) NextIndex() uint64 { return l.next }
+
+// TestAsyncFlushSurfacesDegradedAppends is the regression test for the
+// silent-durability-degradation bug: applierLoop used to skip recording
+// ErrWALRecordLogged entirely, so a stream whose every append left
+// durability in doubt still got a nil from Flush. Degraded appends must
+// count as applied (the action IS serving) but Flush must report them.
+func TestAsyncFlushSurfacesDegradedAppends(t *testing.T) {
+	fx := newFixture(t, 60, 7)
+	r := fx.newFleet(t, Options{Shards: 4, QueueDepth: 16})
+
+	// Rebuild shard 0's engine with the stub WAL; the fleet facade stays
+	// untouched, so the router's routing and counters behave normally.
+	owned := r.ring.Partition(fx.ds.NumUsers())
+	so := shardEngineOptions(fx.eopts, fx.train, owned[0], r.ring, 0)
+	so.WAL = &degradedLog{}
+	e, err := repro.NewEngine(fx.ds, so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := r.shards[0]
+	r.shards[0] = e
+	defer old.Close()
+
+	degraded := 0
+	for _, a := range fx.test {
+		if r.Owner(a.User) == 0 {
+			degraded++
+		}
+		if err := r.ObserveAsync(a.User, a.Tweet, a.Time); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if degraded == 0 {
+		t.Fatal("fixture routes no test action to shard 0; vacuous test")
+	}
+
+	ferr := r.Flush()
+	if ferr == nil {
+		t.Fatal("Flush returned nil although every shard-0 append was durability-degraded")
+	}
+	if !errors.Is(ferr, repro.ErrWALRecordLogged) {
+		t.Fatalf("Flush error %v must wrap ErrWALRecordLogged so callers can tell degraded from lost", ferr)
+	}
+
+	reg := r.MetricsRegistry()
+	if got := reg.Counter("router/async/degraded").Value(); got != uint64(degraded) {
+		t.Errorf("degraded counter %d, want %d", got, degraded)
+	}
+	if got := reg.Counter("router/async/errors").Value(); got != 0 {
+		t.Errorf("fatal-error counter %d, want 0 — degraded appends are applied, not lost", got)
+	}
+	if got := reg.Counter("router/async/applied").Value(); got != uint64(len(fx.test)) {
+		t.Errorf("applied counter %d, want %d (degraded appends still apply)", got, len(fx.test))
+	}
+	if got := len(r.Shard(0).ObservedActions()); got != degraded {
+		t.Errorf("shard 0 applied %d actions, want %d — degraded appends must still serve", got, degraded)
+	}
+
+	// Close drains through Flush, so it reports the degradation too; it
+	// must not be mistaken for a fatal close failure by errors.Is users.
+	if cerr := r.Close(); cerr == nil {
+		t.Error("Close swallowed the degraded-durability report")
+	} else if !errors.Is(cerr, repro.ErrWALRecordLogged) {
+		t.Errorf("Close error %v must wrap ErrWALRecordLogged", cerr)
+	}
+}

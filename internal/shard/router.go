@@ -217,22 +217,27 @@ func (r *Router) Recommend(u repro.UserID, k int, now repro.Timestamp) []repro.R
 	return r.coldStartFanout(u, k, now)
 }
 
-// coldStartFanout merges every shard's ColdStartRecommend partials into
-// one top-k. Scores are summed: the per-shard lists are averages over
-// the same (global) followee count restricted to disjoint followee
-// subsets, so the sum reconstructs the global average.
+// coldStartFanout merges every shard's ColdStartPartial into one top-k.
+// Scores are summed: the per-shard lists are averages over the same
+// (global) followee count restricted to disjoint followee subsets, so
+// the sum reconstructs the global average. The partials are UNtruncated
+// — truncation happens once, after the merge, in mergeTopK. Merging
+// per-shard top-k lists instead would drop any tweet whose summed score
+// belongs in the merged top-k but that no single shard ranks that high
+// (the classic distributed top-k mistake; pinned by
+// TestColdStartFanoutKeepsCrossShardWinner).
 func (r *Router) coldStartFanout(u repro.UserID, k int, now repro.Timestamp) []repro.Recommendation {
 	r.mFanouts.Inc()
 	partials := make([][]repro.Recommendation, len(r.shards))
 	if len(r.shards) == 1 {
-		partials[0] = r.shards[0].ColdStartRecommend(u, k, now)
+		partials[0] = r.shards[0].ColdStartPartial(u, k, now)
 	} else {
 		var wg sync.WaitGroup
 		for i := range r.shards {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				partials[i] = r.shards[i].ColdStartRecommend(u, k, now)
+				partials[i] = r.shards[i].ColdStartPartial(u, k, now)
 			}(i)
 		}
 		wg.Wait()

@@ -198,7 +198,7 @@ func TestColdStartFanout(t *testing.T) {
 		}
 		partials := make([][]repro.Recommendation, r.NumShards())
 		for i := 0; i < r.NumShards(); i++ {
-			partials[i] = r.Shard(i).ColdStartRecommend(uid, k, fx.now)
+			partials[i] = r.Shard(i).ColdStartPartial(uid, k, fx.now)
 		}
 		want := mergeTopK(partials, k)
 		got := r.Recommend(uid, k, fx.now)

@@ -40,6 +40,15 @@ type RecommenderConfig struct {
 	// passes its own registry, which also makes the counters survive the
 	// recommender swap a RefreshGraph performs.
 	Metrics *metrics.Registry
+	// OnChanged, when non-nil, is called after every state change that can
+	// alter some user's recommendation list, with the users affected: the
+	// sharer of each observed retweet (their pool loses the shared tweet)
+	// and every user whose propagated score moved (TweetState.Changed).
+	// The callback runs outside all recommender locks but possibly on
+	// drain-worker goroutines and concurrently with itself; it must be
+	// fast and safe for concurrent use. Serving layers hang cache
+	// invalidation here.
+	OnChanged func(users []ids.UserID)
 }
 
 // DefaultRecommenderConfig returns the experiment configuration:
@@ -221,6 +230,12 @@ func (r *Recommender) putInc(inc *propagation.Incremental) { r.incs.Put(inc) }
 // schedule.
 func (r *Recommender) Observe(a dataset.Action) {
 	r.pool.MarkRetweeted(a.User, a.Tweet)
+	if r.cfg.OnChanged != nil {
+		// The sharer's own list changed even if the propagation below is
+		// postponed or stale-dropped: MarkRetweeted just removed the tweet
+		// from their candidates.
+		r.cfg.OnChanged([]ids.UserID{a.User})
+	}
 	if a.Time-r.ds.Tweets[a.Tweet].Time > r.cfg.MaxAge {
 		// The tweet is past the freshness horizon: its propagation state
 		// was (or would immediately be) evicted, and recreating it would
@@ -362,15 +377,25 @@ func (r *Recommender) runDrain(tasks []drainTask) {
 
 // propagate runs one task under its tweet's state lock and refreshes
 // pooled scores for the users whose probability changed. Lock order is
-// TweetState -> pool slot; r.mu is never held here.
+// TweetState -> pool slot; r.mu is never held here. The OnChanged
+// callback fires after the state lock is released — the affected users
+// are copied out first, because st.Changed is scratch the next AddSeeds
+// overwrites.
 func (r *Recommender) propagate(inc *propagation.Incremental, task drainTask) {
 	st := task.st
+	var changed []ids.UserID
 	st.Lock()
 	inc.AddSeeds(st, task.users, task.popularity)
 	for _, u := range st.Changed {
 		r.pool.Bump(u, task.tweet, st.P[u])
 	}
+	if r.cfg.OnChanged != nil && len(st.Changed) > 0 {
+		changed = append(changed, st.Changed...)
+	}
 	st.Unlock()
+	if len(changed) > 0 {
+		r.cfg.OnChanged(changed)
+	}
 	r.mPropagations.Inc()
 	r.mRecomputes.Add(uint64(inc.LastRecomputed()))
 	r.mRounds.Add(uint64(inc.LastRounds()))

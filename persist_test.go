@@ -19,10 +19,10 @@ import (
 // streamed action ever expires — so replay equivalence is exhaustive,
 // not merely equivalence up to the horizon.
 type persistFixture struct {
-	ds    *Dataset
-	test  []Action
-	opts  EngineOptions
-	now   Timestamp
+	ds   *Dataset
+	test []Action
+	opts EngineOptions
+	now  Timestamp
 }
 
 func newPersistFixture(t *testing.T) *persistFixture {
