@@ -207,6 +207,11 @@ type Engine struct {
 	ckptStop  chan struct{}
 	ckptDone  chan struct{}
 	closeOnce sync.Once
+	// retainFloor, when installed (SetWALRetainFloor), lower-bounds WAL
+	// truncation below what checkpoint retention alone would allow — the
+	// replication leader pins segments its registered followers have not
+	// acknowledged yet. Guarded by ckptMu (Checkpoint holds it).
+	retainFloor func() (uint64, bool)
 
 	// refreshMu serializes RefreshGraphStats calls: the replay phase runs
 	// without the engine lock against a snapshot of the observed log, and

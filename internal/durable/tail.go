@@ -1,0 +1,222 @@
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/crcio"
+	"repro/internal/dataset"
+)
+
+// This file is the replication-facing slice of the WAL: an incremental
+// frame decoder for byte streams fetched from a leader's segment files
+// (internal/replica's follower), plus the directory-listing and
+// manifest helpers the leader's HTTP endpoints serve from. Everything
+// here reads the same on-disk formats wal.go and checkpoint.go write;
+// nothing here ever mutates a log.
+
+// ErrCorruptFrame is returned by TailDecoder.Feed when a COMPLETE frame
+// fails validation — a zero or absurd declared length, a checksum
+// mismatch, or a malformed payload. It marks the same corruptions
+// ScanSegment stops at (Torn), distinguished from the not-an-error case
+// of a frame that is merely incomplete (Feed then consumes nothing and
+// waits for more bytes). Test with errors.Is.
+var ErrCorruptFrame = errors.New("durable: corrupt WAL frame")
+
+// TailDecoder incrementally decodes a WAL segment byte stream in
+// arbitrary chunks — the follower side of WAL shipping, where segment
+// bytes arrive over HTTP in whatever windows the leader's flushes and
+// the fetch schedule produce. Feed consumes only COMPLETE valid frames
+// and reports how many bytes it consumed; the caller re-fetches
+// unconsumed tail bytes in the next round. That consumed-prefix
+// contract is what makes a torn leader tail self-healing: a partial
+// frame is never applied and never persisted, so when the restarted
+// leader truncates the torn bytes and appends fresh records at the same
+// offset, the follower's next fetch — anchored at its consumed offset —
+// sees only the new bytes.
+//
+// The decoder validates exactly what ScanSegment validates: the segment
+// header's magic and first index, each frame's declared length bound,
+// CRC32C, and payload shape. A complete frame that fails any check
+// returns ErrCorruptFrame; Feed never panics on arbitrary input and
+// never allocates beyond one record buffer.
+type TailDecoder struct {
+	first      uint64 // segment's declared first index (header-validated)
+	headerDone bool
+	next       uint64 // log index of the next record to decode
+	offset     int64  // consumed bytes from the start of the segment
+}
+
+// NewTailDecoder returns a decoder for a segment stream from byte 0,
+// expecting the header to declare first as the segment's first record
+// index (the same value its file name carries).
+func NewTailDecoder(first uint64) *TailDecoder {
+	return &TailDecoder{first: first, next: first}
+}
+
+// ResumeTailDecoder returns a decoder positioned mid-segment: records
+// records already consumed, ending at byte offset goodBytes (as
+// reported by a ScanSegment of the local copy). The header is treated
+// as already validated when goodBytes covers it.
+func ResumeTailDecoder(first uint64, records int, goodBytes int64) *TailDecoder {
+	return &TailDecoder{
+		first:      first,
+		headerDone: goodBytes >= int64(segHeaderSize),
+		next:       first + uint64(records),
+		offset:     goodBytes,
+	}
+}
+
+// NextIndex reports the log index the next decoded record will carry.
+func (d *TailDecoder) NextIndex() uint64 { return d.next }
+
+// Offset reports the segment byte offset of the first unconsumed byte —
+// the fetch anchor for the next round, and the length prefix of the
+// segment that is safe to persist locally.
+func (d *TailDecoder) Offset() int64 { return d.offset }
+
+// Feed decodes every complete frame at the front of p, calling fn (if
+// non-nil) for each record with its log-wide index, and returns how
+// many bytes of p were consumed. A trailing partial frame (or partial
+// header) consumes nothing and is not an error — feed those bytes again
+// with more data appended. A complete frame that fails validation
+// returns ErrCorruptFrame with everything before it consumed; an fn
+// error aborts with that error (the failing record stays unconsumed).
+func (d *TailDecoder) Feed(p []byte, fn func(idx uint64, a dataset.Action) error) (int, error) {
+	le := binary.LittleEndian
+	consumed := 0
+	if !d.headerDone {
+		if len(p) < segHeaderSize {
+			return 0, nil
+		}
+		if string(p[:len(segMagic)]) != segMagic {
+			return 0, fmt.Errorf("%w: bad segment magic %q", ErrCorruptFrame, p[:len(segMagic)])
+		}
+		if got := le.Uint64(p[len(segMagic):segHeaderSize]); got != d.first {
+			return 0, fmt.Errorf("%w: segment header says first index %d, want %d", ErrCorruptFrame, got, d.first)
+		}
+		d.headerDone = true
+		consumed = segHeaderSize
+		p = p[segHeaderSize:]
+	}
+	for len(p) >= recHeaderSize {
+		size := le.Uint32(p[:4])
+		if size == 0 || size > maxRecordSize {
+			d.offset += int64(consumed)
+			return consumed, fmt.Errorf("%w: declared record size %d", ErrCorruptFrame, size)
+		}
+		if len(p) < recHeaderSize+int(size) {
+			break // incomplete frame: wait for more bytes
+		}
+		payload := p[recHeaderSize : recHeaderSize+int(size)]
+		if crcio.Checksum(payload) != le.Uint32(p[4:8]) {
+			d.offset += int64(consumed)
+			return consumed, fmt.Errorf("%w: record %d checksum mismatch", ErrCorruptFrame, d.next)
+		}
+		a, err := decodeActionPayload(payload)
+		if err != nil {
+			d.offset += int64(consumed)
+			return consumed, fmt.Errorf("%w: record %d: %v", ErrCorruptFrame, d.next, err)
+		}
+		if fn != nil {
+			if err := fn(d.next, a); err != nil {
+				d.offset += int64(consumed)
+				return consumed, err
+			}
+		}
+		d.next++
+		frame := recHeaderSize + int(size)
+		consumed += frame
+		p = p[frame:]
+	}
+	d.offset += int64(consumed)
+	return consumed, nil
+}
+
+// SegmentInfo describes one WAL segment file for a replication listing.
+type SegmentInfo struct {
+	// First is the log index of the segment's first record.
+	First uint64 `json:"first"`
+	// Size is the segment file's current byte length. For the active
+	// segment this grows with every flush; for sealed segments it is
+	// final.
+	Size int64 `json:"size"`
+}
+
+// ListWALSegments lists dir's WAL segments, sorted by first index, with
+// their current sizes. A missing directory lists as empty.
+func ListWALSegments(dir string) ([]SegmentInfo, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	out := make([]SegmentInfo, 0, len(segs))
+	for _, s := range segs {
+		st, err := os.Stat(s.path)
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				continue // truncated between listing and stat
+			}
+			return nil, err
+		}
+		out = append(out, SegmentInfo{First: s.first, Size: st.Size()})
+	}
+	return out, nil
+}
+
+// SegmentFileName names the segment file whose first record is index
+// first ("wal-%016x.seg") — the name ListWALSegments entries resolve to
+// inside their directory.
+func SegmentFileName(first uint64) string {
+	return fmt.Sprintf("wal-%016x.seg", first)
+}
+
+// ManifestName names the manifest file of the checkpoint with sequence
+// number seq ("ckpt-%016x.manifest").
+func ManifestName(seq uint64) string {
+	return fmt.Sprintf("ckpt-%016x", seq) + manifestSuffix
+}
+
+// NewestManifest returns the raw bytes and decoded form of the newest
+// checkpoint manifest in dir that decodes and whose data files exist
+// with the recorded sizes — the bootstrap source a replication leader
+// offers followers. Damaged manifests are skipped (newest-valid-wins,
+// same as recovery). Returns (nil, nil, nil) when dir holds no usable
+// manifest.
+func NewestManifest(dir string) ([]byte, *Manifest, error) {
+	manifests, err := listManifests(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil, nil
+		}
+		return nil, nil, err
+	}
+	for i := len(manifests) - 1; i >= 0; i-- {
+		raw, err := os.ReadFile(manifests[i].path)
+		if err != nil {
+			continue
+		}
+		m, err := DecodeManifest(raw)
+		if err != nil {
+			continue
+		}
+		ok := true
+		for _, f := range m.Files {
+			st, err := os.Stat(filepath.Join(dir, f.Name))
+			if err != nil || st.Size() != f.Size {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return raw, m, nil
+		}
+	}
+	return nil, nil, nil
+}

@@ -1,0 +1,644 @@
+package replica
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/crcio"
+	"repro/internal/durable"
+	"repro/internal/metrics"
+)
+
+// Terminal follower states. A wedged follower stops tailing, keeps
+// serving its last state, reports the error via Err, and sets the
+// replica/follower/wedged gauge; the documented recovery is a restart,
+// which re-bootstraps from the leader's newest checkpoint.
+var (
+	// ErrDiverged means the leader's next index moved BEHIND what this
+	// follower already applied: the leader crashed and lost records it
+	// had served (they were flushed but not yet fsynced). The follower's
+	// state may contain actions the leader's history no longer does, so
+	// continuing to tail would interleave two histories.
+	ErrDiverged = fmt.Errorf("replica: leader log regressed behind applied index")
+	// ErrTruncatedGap means the leader truncated the segments covering
+	// this follower's position mid-tail — possible only when the
+	// follower was silent past the leader's ack TTL (retention pinning
+	// covers live followers).
+	ErrTruncatedGap = fmt.Errorf("replica: leader truncated past applied index")
+)
+
+// FollowerOptions configures Open. Dir and Engine must describe the
+// same engine configuration as the leader's (same MaxAge, training
+// split, refresh strategy) for bit-identical recommendations.
+type FollowerOptions struct {
+	// Dir is the follower's local durability directory: a byte-mirror of
+	// the leader's checkpoint files and WAL segment prefixes, laid out so
+	// a restart recovers through the ordinary OpenEngine path.
+	Dir string
+	// Engine configures the recovered engine (Engine.WAL must be nil).
+	Engine repro.EngineOptions
+	// Client is the HTTP client for leader requests (default: a
+	// dedicated client; long-poll requests are context-bounded, so no
+	// global timeout is set).
+	Client *http.Client
+	// ID names this follower in the leader's ack registry (default: a
+	// stable hash of the absolute Dir, so a restarted follower keeps its
+	// retention pin).
+	ID string
+	// BatchSize caps one ObserveBatch apply (<= 0 takes 512), preserving
+	// the engine's one-lock-entry group-commit shape.
+	BatchSize int
+	// Poll is the long-poll window when caught up (<= 0 takes 2s).
+	Poll time.Duration
+	// RetryMin/RetryMax bound the fetch-failure backoff
+	// (defaults 50ms / 2s).
+	RetryMin, RetryMax time.Duration
+	// BootstrapAttempts bounds Open's bootstrap retries (<= 0 takes 5).
+	BootstrapAttempts int
+}
+
+func (o *FollowerOptions) defaults() error {
+	if o.Dir == "" {
+		return fmt.Errorf("replica: FollowerOptions.Dir is required")
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	if o.ID == "" {
+		abs, err := filepath.Abs(o.Dir)
+		if err != nil {
+			abs = o.Dir
+		}
+		o.ID = fmt.Sprintf("follower-%08x", crcio.Checksum([]byte(abs)))
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 512
+	}
+	if o.Poll <= 0 {
+		o.Poll = 2 * time.Second
+	}
+	if o.RetryMin <= 0 {
+		o.RetryMin = 50 * time.Millisecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = 2 * time.Second
+	}
+	if o.BootstrapAttempts <= 0 {
+		o.BootstrapAttempts = 5
+	}
+	return nil
+}
+
+// Follower is a read replica: an engine recovered read-only from a
+// local mirror of the leader's durability directory, kept warm by a
+// background tail loop that ships WAL bytes, persists them locally
+// (write-ahead of apply, same as the leader), and replays them through
+// ObserveBatch. Reads go straight to Engine(); staleness is Lag().
+type Follower struct {
+	url  string
+	opts FollowerOptions
+	eng  *repro.Engine
+
+	applied    atomic.Uint64
+	leaderNext atomic.Uint64
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	stop   chan struct{}
+	done   chan struct{}
+	once   sync.Once
+
+	errMu   sync.Mutex
+	termErr error
+
+	// Tail state, touched only by the tail goroutine (and Open).
+	segFirst uint64
+	segFile  *os.File
+	dec      *durable.TailDecoder
+
+	gApplied  *metrics.Gauge   // replica/follower/applied_index
+	gLeader   *metrics.Gauge   // replica/follower/leader_next_index
+	gLag      *metrics.Gauge   // replica/follower/lag
+	gWedged   *metrics.Gauge   // replica/follower/wedged
+	mRecords  *metrics.Counter // replica/follower/records_applied
+	mRejected *metrics.Counter // replica/follower/rejected_actions
+	mBytes    *metrics.Counter // replica/follower/bytes_fetched
+	mFetchErr *metrics.Counter // replica/follower/fetch_errors
+	mCorrupt  *metrics.Counter // replica/follower/corrupt_chunks
+	mReboot   *metrics.Counter // replica/follower/rebootstraps
+	mRounds   *metrics.Counter // replica/follower/rounds
+}
+
+// Open bootstraps (or recovers) a follower of the leader at leaderURL
+// and starts its tail loop. A fresh Dir pulls the leader's newest
+// checkpoint; a Dir with prior state recovers locally and resumes
+// fetching from its applied index. If the leader has truncated past the
+// local position (or regressed behind it), Open discards the local
+// mirror and re-bootstraps — at open time that is always safe, because
+// nothing has been served yet.
+func Open(leaderURL string, opts FollowerOptions) (*Follower, error) {
+	if err := opts.defaults(); err != nil {
+		return nil, err
+	}
+	f := &Follower{
+		url:  strings.TrimRight(leaderURL, "/"),
+		opts: opts,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	f.ctx, f.cancel = context.WithCancel(context.Background())
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+
+	rebootstraps := 0
+	for attempt := 0; ; attempt++ {
+		if attempt >= opts.BootstrapAttempts {
+			return nil, fmt.Errorf("replica: bootstrap did not converge after %d attempts", attempt)
+		}
+		if _, m, err := durable.NewestManifest(opts.Dir); err != nil {
+			return nil, err
+		} else if m == nil {
+			if err := f.bootstrap(); err != nil {
+				f.sleep(f.backoffFor(attempt))
+				continue
+			}
+		}
+		eng, rs, err := repro.OpenEngine(opts.Dir, repro.OpenOptions{
+			Engine:   opts.Engine,
+			ReadOnly: true,
+		})
+		if err != nil {
+			// A half-bootstrapped or damaged mirror is disposable by
+			// construction — the leader holds the authoritative copy.
+			if werr := f.wipeLocal(); werr != nil {
+				return nil, fmt.Errorf("replica: recovering local mirror: %v; wiping it: %w", err, werr)
+			}
+			rebootstraps++
+			continue
+		}
+		applied := rs.WALNextIndex
+		listing, err := f.list(applied, 0)
+		if err != nil {
+			eng.Close()
+			f.sleep(f.backoffFor(attempt))
+			continue
+		}
+		if covered(listing, applied) {
+			f.eng = eng
+			f.applied.Store(applied)
+			f.leaderNext.Store(listing.NextIndex)
+			break
+		}
+		// The local position fell outside what the leader still serves
+		// (truncation while we were down, or a leader that lost our
+		// acknowledged tail). Start over from the newest checkpoint.
+		eng.Close()
+		if err := f.wipeLocal(); err != nil {
+			return nil, err
+		}
+		rebootstraps++
+	}
+
+	reg := f.eng.MetricsRegistry()
+	f.gApplied = reg.Gauge("replica/follower/applied_index")
+	f.gLeader = reg.Gauge("replica/follower/leader_next_index")
+	f.gLag = reg.Gauge("replica/follower/lag")
+	f.gWedged = reg.Gauge("replica/follower/wedged")
+	f.mRecords = reg.Counter("replica/follower/records_applied")
+	f.mRejected = reg.Counter("replica/follower/rejected_actions")
+	f.mBytes = reg.Counter("replica/follower/bytes_fetched")
+	f.mFetchErr = reg.Counter("replica/follower/fetch_errors")
+	f.mCorrupt = reg.Counter("replica/follower/corrupt_chunks")
+	f.mReboot = reg.Counter("replica/follower/rebootstraps")
+	f.mRounds = reg.Counter("replica/follower/rounds")
+	f.mReboot.Add(uint64(rebootstraps))
+	f.gApplied.Set(int64(f.applied.Load()))
+	f.gLeader.Set(int64(f.leaderNext.Load()))
+	f.gLag.Set(int64(f.Lag()))
+
+	go f.tailLoop()
+	return f, nil
+}
+
+// covered reports whether the leader still serves the byte range the
+// follower needs to continue from applied: either there is nothing to
+// fetch, or some listed segment starts at or below applied and the
+// leader's log has not regressed behind it.
+func covered(ls *segmentListing, applied uint64) bool {
+	if ls.NextIndex < applied {
+		return false
+	}
+	if ls.NextIndex == applied {
+		return true
+	}
+	return len(ls.Segments) > 0 && ls.Segments[0].First <= applied
+}
+
+// Engine returns the replica's engine for serving reads. Do not call
+// Observe on it — the follower owns the write path.
+func (f *Follower) Engine() *repro.Engine { return f.eng }
+
+// AppliedIndex reports the log index one past the last applied record.
+func (f *Follower) AppliedIndex() uint64 { return f.applied.Load() }
+
+// LeaderNextIndex reports the leader's next append index as of the last
+// successful listing.
+func (f *Follower) LeaderNextIndex() uint64 { return f.leaderNext.Load() }
+
+// Lag is the staleness contract's number: how many records the leader
+// has accepted that this replica has not applied yet.
+func (f *Follower) Lag() uint64 {
+	ln, ap := f.leaderNext.Load(), f.applied.Load()
+	if ln <= ap {
+		return 0
+	}
+	return ln - ap
+}
+
+// Err reports the terminal error that wedged the tail loop, if any.
+func (f *Follower) Err() error {
+	f.errMu.Lock()
+	defer f.errMu.Unlock()
+	return f.termErr
+}
+
+// WaitCaughtUp blocks until the replica has applied everything the
+// leader reports having NOW — it asks the leader for its next index
+// directly rather than trusting the tail loop's (possibly stale) last
+// listing — or the timeout passes, or the tail loop wedges (its
+// terminal error is returned).
+func (f *Follower) WaitCaughtUp(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var target uint64
+	haveTarget := false
+	for {
+		if err := f.Err(); err != nil {
+			return err
+		}
+		if !haveTarget {
+			if ls, err := f.list(f.applied.Load(), 0); err == nil {
+				target = ls.NextIndex
+				haveTarget = true
+			}
+		}
+		if haveTarget && f.applied.Load() >= target {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("replica: not caught up to %d after %v (applied %d)", target, timeout, f.applied.Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Close stops the tail loop, syncs and closes the local segment file,
+// and closes the engine's background work. The engine stays readable.
+func (f *Follower) Close() error {
+	f.once.Do(func() {
+		f.cancel()
+		close(f.stop)
+		<-f.done
+	})
+	return f.eng.Close()
+}
+
+// tailLoop is the follower's single background goroutine: round after
+// round of list → fetch → persist → apply, with exponential backoff on
+// transport errors and a hard stop on the two terminal conditions.
+func (f *Follower) tailLoop() {
+	defer close(f.done)
+	defer f.closeSegment()
+	backoff := f.opts.RetryMin
+	for {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		f.mRounds.Inc()
+		err := f.round()
+		if err == nil {
+			backoff = f.opts.RetryMin
+			continue
+		}
+		if err == ErrDiverged || err == ErrTruncatedGap {
+			f.errMu.Lock()
+			f.termErr = err
+			f.errMu.Unlock()
+			f.gWedged.Set(1)
+			return
+		}
+		f.mFetchErr.Inc()
+		f.sleep(backoff)
+		backoff *= 2
+		if backoff > f.opts.RetryMax {
+			backoff = f.opts.RetryMax
+		}
+	}
+}
+
+// round runs one replication round. It returns nil for "made progress
+// or cleanly idle", a terminal sentinel to wedge, or any other error to
+// back off and retry.
+func (f *Follower) round() error {
+	applied := f.applied.Load()
+	wait := time.Duration(0)
+	if applied >= f.leaderNext.Load() {
+		// Caught up as far as we know: long-poll so the next record's
+		// replication latency is one round trip, not one poll interval.
+		wait = f.opts.Poll
+	}
+	listing, err := f.list(applied, wait)
+	if err != nil {
+		return err
+	}
+	f.leaderNext.Store(listing.NextIndex)
+	f.gLeader.Set(int64(listing.NextIndex))
+	f.gLag.Set(int64(f.Lag()))
+	if listing.NextIndex < applied {
+		return ErrDiverged
+	}
+	if listing.NextIndex == applied {
+		return nil
+	}
+	// Pick the segment containing the applied position: the greatest
+	// first index not beyond it. Rolling to a fresh leader segment falls
+	// out of the same rule once applied reaches its first index.
+	var seg *durable.SegmentInfo
+	for i := range listing.Segments {
+		if listing.Segments[i].First <= applied {
+			seg = &listing.Segments[i]
+		}
+	}
+	if seg == nil {
+		return ErrTruncatedGap
+	}
+	if f.segFile == nil || f.segFirst != seg.First {
+		if err := f.openLocalSegment(seg.First); err != nil {
+			return err
+		}
+	}
+	chunk, err := f.fetch(seg.First, f.dec.Offset())
+	if err != nil {
+		return err
+	}
+	if len(chunk) == 0 {
+		// The leader has records we have not seen (NextIndex > applied)
+		// but no new bytes at our offset: they sit in its write buffer
+		// until the next flush. Wait out roughly one group-commit period.
+		f.sleep(f.opts.RetryMin)
+		return nil
+	}
+	startOff := f.dec.Offset()
+	var batch []repro.Action
+	consumed, ferr := f.dec.Feed(chunk, func(idx uint64, a repro.Action) error {
+		if idx >= applied {
+			batch = append(batch, a)
+		}
+		return nil
+	})
+	if consumed > 0 {
+		// Persist before apply — the same write-ahead discipline as the
+		// leader. A crash between the write and the apply re-replays the
+		// records from the local file on restart; a torn local write is
+		// salvaged by the scan in openLocalSegment.
+		if _, werr := f.segFile.WriteAt(chunk[:consumed], startOff); werr != nil {
+			f.closeSegment() // force a rescan; decoder state is ahead of disk
+			return werr
+		}
+		for len(batch) > 0 {
+			n := len(batch)
+			if n > f.opts.BatchSize {
+				n = f.opts.BatchSize
+			}
+			for _, aerr := range f.eng.ObserveBatch(batch[:n]) {
+				if aerr != nil {
+					f.mRejected.Inc()
+				}
+			}
+			f.mRecords.Add(uint64(n))
+			batch = batch[n:]
+		}
+		f.applied.Store(f.dec.NextIndex())
+		f.gApplied.Set(int64(f.dec.NextIndex()))
+		f.gLag.Set(int64(f.Lag()))
+		f.mBytes.Add(uint64(consumed))
+	}
+	if ferr != nil {
+		// A complete-but-invalid frame. The usual cause is fetching a
+		// leader's torn tail (crash mid-append); the restarted leader
+		// truncates and rewrites those bytes in place, so retrying the
+		// fetch at our consumed offset self-heals. Never terminal: the
+		// bad bytes were neither persisted nor applied.
+		f.mCorrupt.Inc()
+		return fmt.Errorf("replica: segment %d at offset %d: %w", seg.First, f.dec.Offset(), ferr)
+	}
+	return nil
+}
+
+// openLocalSegment swaps the local write target to the segment starting
+// at first, scanning any existing local copy to resume the decoder at
+// its good prefix (truncating a torn local tail, which a crash mid-
+// WriteAt can leave).
+func (f *Follower) openLocalSegment(first uint64) error {
+	f.closeSegment()
+	path := filepath.Join(f.opts.Dir, durable.SegmentFileName(first))
+	file, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	st, err := durable.ScanSegment(io.NewSectionReader(file, 0, 1<<62), nil)
+	switch {
+	case err != nil || st.FirstIndex != first:
+		// Empty (just created), headerless, or mis-headered: start the
+		// byte mirror from scratch.
+		if err := file.Truncate(0); err != nil {
+			file.Close()
+			return err
+		}
+		f.dec = durable.NewTailDecoder(first)
+	case st.Torn:
+		if err := file.Truncate(st.GoodBytes); err != nil {
+			file.Close()
+			return err
+		}
+		f.dec = durable.ResumeTailDecoder(first, st.Records, st.GoodBytes)
+	default:
+		f.dec = durable.ResumeTailDecoder(first, st.Records, st.GoodBytes)
+	}
+	f.segFile = file
+	f.segFirst = first
+	return nil
+}
+
+// closeSegment syncs and closes the current local segment file, if any.
+func (f *Follower) closeSegment() {
+	if f.segFile != nil {
+		f.segFile.Sync()
+		f.segFile.Close()
+		f.segFile = nil
+	}
+}
+
+// list fetches the leader's segment listing, acking our applied index.
+func (f *Follower) list(from uint64, wait time.Duration) (*segmentListing, error) {
+	q := url.Values{}
+	q.Set("from", strconv.FormatUint(from, 10))
+	q.Set("id", f.opts.ID)
+	q.Set("ack", strconv.FormatUint(from, 10))
+	if wait > 0 {
+		q.Set("wait", wait.String())
+	}
+	body, _, err := f.get("/wal/segments?" + q.Encode())
+	if err != nil {
+		return nil, err
+	}
+	var ls segmentListing
+	if err := json.Unmarshal(body, &ls); err != nil {
+		return nil, fmt.Errorf("replica: decoding listing: %w", err)
+	}
+	return &ls, nil
+}
+
+// fetch pulls segment bytes from the leader starting at offset.
+func (f *Follower) fetch(first uint64, offset int64) ([]byte, error) {
+	body, status, err := f.get(fmt.Sprintf("/wal/segments/%d?offset=%d", first, offset))
+	if status == http.StatusNotFound {
+		// Truncated between listing and fetch. The next round's listing
+		// decides: roll forward if our position survived, wedge if not.
+		return nil, fmt.Errorf("replica: segment %d truncated at leader", first)
+	}
+	return body, err
+}
+
+// bootstrap pulls the leader's newest checkpoint into Dir: data files
+// first, each verified against the manifest's size and CRC, the
+// manifest last — the same manifest-last atomicity the checkpoint
+// writer uses, so a crashed bootstrap never looks like a checkpoint.
+func (f *Follower) bootstrap() error {
+	raw, _, err := f.get("/wal/checkpoint/manifest")
+	if err != nil {
+		return err
+	}
+	m, err := durable.DecodeManifest(raw)
+	if err != nil {
+		return fmt.Errorf("replica: leader manifest: %w", err)
+	}
+	for _, mf := range m.Files {
+		body, _, err := f.get("/wal/checkpoint/file?name=" + url.QueryEscape(mf.Name))
+		if err != nil {
+			return err
+		}
+		if int64(len(body)) != mf.Size || crcio.Checksum(body) != mf.CRC {
+			// Usually a prune race: the checkpoint rolled mid-bootstrap.
+			return fmt.Errorf("replica: checkpoint file %s failed verification (got %d bytes)", mf.Name, len(body))
+		}
+		if err := writeFileSync(filepath.Join(f.opts.Dir, mf.Name), body); err != nil {
+			return err
+		}
+	}
+	if err := writeFileSync(filepath.Join(f.opts.Dir, durable.ManifestName(m.Seq)), raw); err != nil {
+		return err
+	}
+	return syncDir(f.opts.Dir)
+}
+
+// wipeLocal deletes the local mirror (checkpoint files and WAL
+// segments) ahead of a re-bootstrap.
+func (f *Follower) wipeLocal() error {
+	ents, err := os.ReadDir(f.opts.Dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if strings.HasPrefix(name, "wal-") || strings.HasPrefix(name, "ckpt-") {
+			if err := os.Remove(filepath.Join(f.opts.Dir, name)); err != nil {
+				return err
+			}
+		}
+	}
+	return syncDir(f.opts.Dir)
+}
+
+// get performs one leader GET, bounded by the follower's lifetime.
+func (f *Follower) get(path string) ([]byte, int, error) {
+	req, err := http.NewRequestWithContext(f.ctx, http.MethodGet, f.url+path, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := f.opts.Client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, resp.StatusCode, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, resp.StatusCode, fmt.Errorf("replica: GET %s: %s: %s", path, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return body, resp.StatusCode, nil
+}
+
+// sleep pauses without outliving Close.
+func (f *Follower) sleep(d time.Duration) {
+	select {
+	case <-f.stop:
+	case <-time.After(d):
+	}
+}
+
+// backoffFor scales the retry backoff for Open's bootstrap loop.
+func (f *Follower) backoffFor(attempt int) time.Duration {
+	d := f.opts.RetryMin << uint(attempt)
+	if d > f.opts.RetryMax {
+		d = f.opts.RetryMax
+	}
+	return d
+}
+
+// writeFileSync writes path atomically enough for a manifest-last
+// protocol: full contents, then fsync, before returning.
+func writeFileSync(path string, data []byte) error {
+	file, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := file.Write(data)
+	if serr := file.Sync(); werr == nil {
+		werr = serr
+	}
+	if cerr := file.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// syncDir fsyncs a directory so creates and removals inside it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

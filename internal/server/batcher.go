@@ -1,11 +1,19 @@
 package server
 
 import (
+	"errors"
 	"sync"
 
 	"repro"
 	"repro/internal/metrics"
 )
+
+// errObserveOverflow rejects a write when the coalescing queue is at
+// its bound; the HTTP layer maps it to 503 + Retry-After. Backpressure
+// at the queue beats unbounded memory: every queued waiter pins a
+// goroutine and an action until some future flush drains it, so under
+// an open-loop storm the queue — not the heap — must be the limit.
+var errObserveOverflow = errors.New("server: observe queue full")
 
 // pendingObserve is one waiter in the coalescing queue; done carries
 // its ObserveBatch slot error back to the HTTP handler goroutine.
@@ -23,8 +31,9 @@ type pendingObserve struct {
 // while an idle server still flushes every lone write immediately (no
 // latency floor from a timer).
 type batcher struct {
-	backend  Backend
-	maxBatch int
+	backend    Backend
+	maxBatch   int
+	maxPending int
 
 	mu       sync.Mutex
 	pending  []pendingObserve
@@ -32,18 +41,24 @@ type batcher struct {
 
 	mFlushes   *metrics.Counter   // server/batch/flushes
 	mCoalesced *metrics.Counter   // server/batch/coalesced (actions that shared a flush)
+	mOverflow  *metrics.Counter   // server/batch/overflow (writes shed at the queue bound)
 	mSize      *metrics.Histogram // server/batch/size
 }
 
-func newBatcher(b Backend, maxBatch int, reg *metrics.Registry) *batcher {
+func newBatcher(b Backend, maxBatch, maxPending int, reg *metrics.Registry) *batcher {
 	if maxBatch <= 0 {
 		maxBatch = 512
+	}
+	if maxPending <= 0 {
+		maxPending = 4096
 	}
 	return &batcher{
 		backend:    b,
 		maxBatch:   maxBatch,
+		maxPending: maxPending,
 		mFlushes:   reg.Counter("server/batch/flushes"),
 		mCoalesced: reg.Counter("server/batch/coalesced"),
+		mOverflow:  reg.Counter("server/batch/overflow"),
 		mSize:      reg.Histogram("server/batch/size"),
 	}
 }
@@ -55,6 +70,11 @@ func newBatcher(b Backend, maxBatch int, reg *metrics.Registry) *batcher {
 func (b *batcher) Observe(a repro.Action) error {
 	w := pendingObserve{action: a, done: make(chan error, 1)}
 	b.mu.Lock()
+	if len(b.pending) >= b.maxPending {
+		b.mu.Unlock()
+		b.mOverflow.Inc()
+		return errObserveOverflow
+	}
 	b.pending = append(b.pending, w)
 	if b.flushing {
 		// A flush is in the backend; it (or its successor) will drain us.

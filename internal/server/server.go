@@ -11,6 +11,7 @@ import (
 
 	"repro"
 	"repro/internal/metrics"
+	"repro/internal/replica"
 )
 
 // Options configures a Server. The zero value serves with sensible
@@ -30,6 +31,22 @@ type Options struct {
 	RetryAfter time.Duration
 	// Clock overrides time.Now, for shed tests.
 	Clock func() time.Time
+	// MaxInFlight sheds reads when more than this many HTTP requests are
+	// being served at once — the queue-aware second shed signal: engine
+	// p99 reacts to slow computation, this reacts to pure HTTP queueing
+	// on a saturated box. 0 disables.
+	MaxInFlight int
+	// MaxPending bounds the observe batcher's queue; an overflowing
+	// write storm gets 503 + Retry-After instead of unbounded memory
+	// growth (<= 0 takes 4096).
+	MaxPending int
+	// Replication, when set, mounts the leader's WAL-shipping endpoints
+	// under /wal/ so followers can bootstrap and tail this server.
+	Replication *replica.Leader
+	// MaxLag, when serving a replica backend (ForFollower), rejects
+	// reads with 503 once replication lag exceeds this many records.
+	// 0 means annotate (X-Replica-Lag) but never reject.
+	MaxLag uint64
 }
 
 // Server is the HTTP serving layer. Create with New, mount Handler on
@@ -51,11 +68,19 @@ type Options struct {
 //	GET  /healthz     200 "ok"
 type Server struct {
 	backend Backend
+	replica ReplicaSource // non-nil when backend is a read replica
 	cache   *recCache
 	batcher *batcher
 	shed    *shedder
 	reg     *metrics.Registry
 	mux     *http.ServeMux
+
+	// inFlight counts HTTP requests currently being served; with
+	// Options.MaxInFlight it is the queue-aware shed signal.
+	inFlight    atomic.Int64
+	maxInFlight int64
+	maxLag      uint64
+	retryAfter  time.Duration
 
 	// lastTime tracks the newest observed timestamp, the default "now"
 	// for recommend requests that do not pin one: recommendations are
@@ -66,6 +91,9 @@ type Server struct {
 	mRecommends *metrics.Counter // server/http/recommends
 	mObserves   *metrics.Counter // server/http/observes
 	mBadReqs    *metrics.Counter // server/http/bad_requests
+	mQueueShed  *metrics.Counter // server/shed/queue_shed
+	mLagShed    *metrics.Counter // server/shed/lag_shed
+	gInFlight   *metrics.Gauge   // server/http/in_flight
 	mLatency    *metrics.Histogram
 }
 
@@ -76,17 +104,29 @@ func New(b Backend, opts Options) *Server {
 	if opts.CacheEntries <= 0 {
 		opts.CacheEntries = 1 << 16
 	}
+	if opts.RetryAfter <= 0 {
+		opts.RetryAfter = time.Second
+	}
 	reg := metrics.NewRegistry()
 	s := &Server{
-		backend: b,
-		cache:   newRecCache(reg, opts.CacheEntries),
-		reg:     reg,
+		backend:     b,
+		cache:       newRecCache(reg, opts.CacheEntries),
+		reg:         reg,
+		maxInFlight: int64(opts.MaxInFlight),
+		maxLag:      opts.MaxLag,
+		retryAfter:  opts.RetryAfter,
 	}
-	s.batcher = newBatcher(b, opts.MaxBatch, reg)
+	if rs, ok := b.(ReplicaSource); ok {
+		s.replica = rs
+	}
+	s.batcher = newBatcher(b, opts.MaxBatch, opts.MaxPending, reg)
 	s.shed = newShedder(b.RecommendLatency(), opts.P99Budget, opts.ShedWindow, opts.RetryAfter, opts.Clock, reg)
 	s.mRecommends = reg.Counter("server/http/recommends")
 	s.mObserves = reg.Counter("server/http/observes")
 	s.mBadReqs = reg.Counter("server/http/bad_requests")
+	s.mQueueShed = reg.Counter("server/shed/queue_shed")
+	s.mLagShed = reg.Counter("server/shed/lag_shed")
+	s.gInFlight = reg.Gauge("server/http/in_flight")
 	s.mLatency = reg.Histogram("server/http/latency_ns")
 
 	b.SetOnScoresChanged(s.cache.Invalidate)
@@ -100,6 +140,9 @@ func New(b Backend, opts Options) *Server {
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
+	if opts.Replication != nil {
+		s.mux.Handle("/wal/", opts.Replication.Handler())
+	}
 	return s
 }
 
@@ -107,7 +150,9 @@ func New(b Backend, opts Options) *Server {
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		s.gInFlight.Set(s.inFlight.Add(1))
 		s.mux.ServeHTTP(w, r)
+		s.gInFlight.Set(s.inFlight.Add(-1))
 		s.mLatency.ObserveDuration(time.Since(start))
 	})
 }
@@ -157,6 +202,13 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	if s.replica != nil {
+		// A replica's only writer is its tail loop; an accepted observe
+		// here would apply without being in the leader's log and diverge
+		// the replica forever.
+		http.Error(w, "read-only replica; observe on the leader", http.StatusForbidden)
+		return
+	}
 	var req observeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.badRequest(w, fmt.Sprintf("bad body: %v", err))
@@ -170,6 +222,10 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		// Applied and logged; durability in doubt. The action is live —
 		// report success, flag the doubt.
 		w.Header().Set("X-WAL-Degraded", "1")
+	case errors.Is(err, errObserveOverflow):
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.retryAfter/time.Second)))
+		http.Error(w, "observe queue full, backing off", http.StatusServiceUnavailable)
+		return
 	default:
 		s.badRequest(w, err.Error())
 		return
@@ -203,9 +259,22 @@ type recommendResponse struct {
 }
 
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	if s.maxInFlight > 0 && s.inFlight.Load() > s.maxInFlight {
+		// Queue-aware admission: too many requests already inside the
+		// server means new arrivals would only deepen the queue. This
+		// catches pure HTTP queueing that the engine-latency signal
+		// cannot see (the engine is fine; the box is not).
+		s.mQueueShed.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.retryAfter/time.Second)))
+		http.Error(w, "request queue full, backing off", http.StatusTooManyRequests)
+		return
+	}
 	if !s.shed.Admit() {
 		w.Header().Set("Retry-After", strconv.Itoa(int(s.shed.RetryAfter()/time.Second)))
 		http.Error(w, "overloaded, backing off", http.StatusTooManyRequests)
+		return
+	}
+	if !s.annotateLag(w) {
 		return
 	}
 	q := r.URL.Query()
@@ -260,7 +329,32 @@ func (s *Server) writeRecommend(w http.ResponseWriter, verdict string, u repro.U
 	json.NewEncoder(w).Encode(recommendResponse{User: u, Now: now, Cold: cold, Recommendations: wire})
 }
 
+// annotateLag stamps the replica staleness contract onto a read
+// response: X-Replica-Lag always, and a 503 once lag exceeds MaxLag
+// (returning false — the caller must not serve). Leaders (no replica
+// source) pass through untouched.
+func (s *Server) annotateLag(w http.ResponseWriter) bool {
+	if s.replica == nil {
+		return true
+	}
+	lag, ok := s.replica.ReplicaLag()
+	if !ok {
+		return true
+	}
+	w.Header().Set("X-Replica-Lag", strconv.FormatUint(lag, 10))
+	if s.maxLag > 0 && lag > s.maxLag {
+		s.mLagShed.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.retryAfter/time.Second)))
+		http.Error(w, fmt.Sprintf("replica lag %d exceeds bound %d", lag, s.maxLag), http.StatusServiceUnavailable)
+		return false
+	}
+	return true
+}
+
 func (s *Server) handleSimilarity(w http.ResponseWriter, r *http.Request) {
+	if !s.annotateLag(w) {
+		return
+	}
 	q := r.URL.Query()
 	u, err1 := strconv.ParseUint(q.Get("u"), 10, 32)
 	v, err2 := strconv.ParseUint(q.Get("v"), 10, 32)

@@ -437,7 +437,7 @@ func TestBatcherCoalesces(t *testing.T) {
 		release: make(chan struct{}),
 	}
 	reg := metrics.NewRegistry()
-	b := newBatcher(gated, 512, reg)
+	b := newBatcher(gated, 512, 0, reg)
 
 	const followers = 15
 	errCh := make(chan error, followers+1)
@@ -477,5 +477,200 @@ func TestBatcherCoalesces(t *testing.T) {
 	}
 	if got := len(eng.ObservedActions()); got != followers+1 {
 		t.Fatalf("engine applied %d actions, want %d", got, followers+1)
+	}
+}
+
+// blockingReadBackend wedges RecommendWithColdStart open so the test
+// can hold a known number of reads in flight.
+type blockingReadBackend struct {
+	Backend
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (b *blockingReadBackend) RecommendWithColdStart(u repro.UserID, k int, now repro.Timestamp) ([]repro.Recommendation, bool) {
+	b.entered <- struct{}{}
+	<-b.release
+	return b.Backend.RecommendWithColdStart(u, k, now)
+}
+
+// TestQueueAwareAdmission pins the in-flight admission bound: with
+// MaxInFlight requests wedged inside the server, the next arrival is
+// shed with 429 before it deepens the queue, the shed is counted, and
+// service resumes once the queue drains.
+func TestQueueAwareAdmission(t *testing.T) {
+	ds, err := gen.Generate(gen.DefaultConfig(120, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, _, err := repro.SplitDataset(ds, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eopts := repro.DefaultEngineOptions()
+	eopts.Train = train
+	eopts.MaxAge = 1 << 40
+	eng, err := repro.NewEngine(ds, eopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wedged = 2
+	blocking := &blockingReadBackend{
+		Backend: ForEngine(eng),
+		entered: make(chan struct{}, wedged),
+		release: make(chan struct{}),
+	}
+	srv := New(blocking, Options{MaxInFlight: wedged})
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Close()
+	})
+
+	codes := make(chan int, wedged)
+	for i := 0; i < wedged; i++ {
+		go func(u int) {
+			resp, err := hs.Client().Get(fmt.Sprintf("%s/recommend?user=%d&k=5&now=1", hs.URL, u))
+			if err != nil {
+				codes <- -1
+				return
+			}
+			resp.Body.Close()
+			codes <- resp.StatusCode
+		}(i)
+	}
+	for i := 0; i < wedged; i++ {
+		<-blocking.entered // both reads are inside the backend
+	}
+
+	// The box is full: the next arrival must be shed at the door.
+	resp, err := hs.Client().Get(hs.URL + "/recommend?user=50&k=5&now=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-admission status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("queue shed carries no Retry-After")
+	}
+	if got := srv.Metrics().Counter("server/shed/queue_shed"); got == 0 {
+		t.Error("queue_shed counter did not move")
+	}
+	if got := srv.Metrics().Gauge("server/http/in_flight"); got != wedged {
+		t.Errorf("in_flight gauge = %d, want %d", got, wedged)
+	}
+
+	close(blocking.release)
+	for i := 0; i < wedged; i++ {
+		if code := <-codes; code != http.StatusOK {
+			t.Fatalf("wedged read finished with status %d", code)
+		}
+	}
+	// Drained: the same request is admitted again.
+	resp, err = hs.Client().Get(hs.URL + "/recommend?user=50&k=5&now=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-drain status = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestObserveBackpressure pins the write-storm contract: with a flush
+// wedged in the backend and the pending queue at MaxPending, further
+// writes get 503 + Retry-After instead of unbounded queue growth, and
+// every admitted write still commits.
+func TestObserveBackpressure(t *testing.T) {
+	ds, err := gen.Generate(gen.DefaultConfig(120, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := repro.SplitDataset(ds, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eopts := repro.DefaultEngineOptions()
+	eopts.Train = train
+	eopts.MaxAge = 1 << 40
+	eng, err := repro.NewEngine(ds, eopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gated := &gatedBackend{
+		Backend: ForEngine(eng),
+		entered: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	const maxPending = 4
+	srv := New(gated, Options{MaxPending: maxPending})
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Close()
+	})
+	post := func(a repro.Action) (*http.Response, error) {
+		body, _ := json.Marshal(map[string]any{"user": a.User, "tweet": a.Tweet, "time": a.Time})
+		return hs.Client().Post(hs.URL+"/observe", "application/json", bytes.NewReader(body))
+	}
+
+	codes := make(chan int, maxPending+1)
+	submit := func(a repro.Action) {
+		go func() {
+			resp, err := post(a)
+			if err != nil {
+				codes <- -1
+				return
+			}
+			resp.Body.Close()
+			codes <- resp.StatusCode
+		}()
+	}
+	submit(test[0])
+	<-gated.entered // the flush leader is wedged inside the backend
+	for i := 1; i <= maxPending; i++ {
+		submit(test[i])
+	}
+	// Wait until every admitted follower is queued behind the flush.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		srv.batcher.mu.Lock()
+		n := len(srv.batcher.pending)
+		srv.batcher.mu.Unlock()
+		if n == maxPending {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d writes queued", n, maxPending)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The queue is at its bound: the next write must bounce.
+	resp, err := post(test[maxPending+1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("overflow response carries no Retry-After")
+	}
+	if got := srv.Metrics().Counter("server/batch/overflow"); got == 0 {
+		t.Error("overflow counter did not move")
+	}
+
+	close(gated.release)
+	for i := 0; i < maxPending+1; i++ {
+		if code := <-codes; code != http.StatusNoContent {
+			t.Fatalf("admitted write finished with status %d", code)
+		}
+	}
+	if got := len(eng.ObservedActions()); got != maxPending+1 {
+		t.Fatalf("engine applied %d actions, want %d", got, maxPending+1)
 	}
 }

@@ -106,6 +106,13 @@ type OpenOptions struct {
 	// newest checkpoint plus one fallback, so losing the newest manifest
 	// still recovers).
 	KeepCheckpoints int
+	// ReadOnly recovers the engine without attaching a WAL: the directory
+	// is only read, never appended to, and Observe/ObserveBatch apply
+	// in-memory without logging. This is the replication follower's mode —
+	// internal/replica ships the leader's segment bytes into the directory
+	// itself and replays them through the engine, so an engine-owned WAL
+	// would double-log every action. Incompatible with CheckpointEvery.
+	ReadOnly bool
 }
 
 // RecoveryStats reports what OpenEngine recovered.
@@ -127,6 +134,10 @@ type RecoveryStats struct {
 	// mid-append); WALTornBytes is how many trailing bytes were dropped.
 	WALTorn      bool
 	WALTornBytes int64
+	// WALNextIndex is the log index one past the last record the recovery
+	// applied — the position an appender would resume at, and the index a
+	// replication follower resumes fetching from after a restart.
+	WALNextIndex uint64
 	// InvalidActions counts recovered actions Observe rejected (IDs
 	// outside the recovered dataset) — nonzero only for damaged state
 	// that still checksummed, which should not happen.
@@ -149,6 +160,9 @@ func OpenEngine(dir string, opts OpenOptions) (*Engine, RecoveryStats, error) {
 	start := time.Now()
 	if opts.Engine.WAL != nil {
 		return nil, rs, errors.New("repro: OpenEngine owns the WAL it opens; EngineOptions.WAL must be nil")
+	}
+	if opts.ReadOnly && opts.CheckpointEvery > 0 {
+		return nil, rs, errors.New("repro: ReadOnly open cannot run a background checkpointer")
 	}
 	if opts.KeepCheckpoints <= 0 {
 		opts.KeepCheckpoints = 2
@@ -196,8 +210,25 @@ func OpenEngine(dir string, opts OpenOptions) (*Engine, RecoveryStats, error) {
 	rs.WALRecords = wrs.Records
 	rs.WALTorn = wrs.Torn
 	rs.WALTornBytes = wrs.TornBytes
+	rs.WALNextIndex = wrs.NextIndex
 	if wrs.Records > 0 {
 		rs.Recovered = true
+	}
+	if opts.ReadOnly {
+		// No WAL attach: e.wal stays nil, so Observe applies without
+		// logging and Checkpoint on this engine records no high-water mark.
+		e.ckptDir = dir
+		e.keepCkpts = opts.KeepCheckpoints
+		rs.Duration = time.Since(start)
+		if rs.Recovered {
+			e.metrics.Counter("engine/recovery/count").Inc()
+		}
+		e.metrics.Counter("engine/recovery/checkpoint_actions").Add(uint64(rs.CheckpointActions))
+		e.metrics.Counter("engine/recovery/wal_records").Add(uint64(rs.WALRecords))
+		e.metrics.Counter("engine/recovery/invalid_actions").Add(uint64(rs.InvalidActions))
+		e.metrics.Counter("engine/recovery/torn_bytes").Add(uint64(rs.WALTornBytes))
+		e.metrics.Histogram("engine/recovery/duration_ns").ObserveDuration(rs.Duration)
+		return e, rs, nil
 	}
 	w, err := durable.OpenWAL(dir, durable.WALOptions{
 		SegmentSize: opts.WALSegmentSize,
@@ -386,6 +417,16 @@ func (e *Engine) Checkpoint(dir string) (CheckpointStats, error) {
 		e.metrics.Counter("engine/checkpoint/errors").Inc()
 		return st, err
 	}
+	if e.retainFloor != nil {
+		// A replication follower that has not acknowledged past `floor`
+		// still needs every segment from there on; truncating them would
+		// force it through a full re-bootstrap. Recovery only ever replays
+		// from a kept checkpoint's mark, so holding extra segments below
+		// keptHWM is pure retention, never a correctness risk.
+		if floor, ok := e.retainFloor(); ok && floor < keptHWM {
+			keptHWM = floor
+		}
+	}
 	if e.dwal != nil && keptHWM > 0 {
 		// Truncate only below the oldest *kept* checkpoint's mark: the
 		// fallback generation must keep the WAL tail it would replay.
@@ -428,6 +469,29 @@ func (e *Engine) manifestTrainLen() int64 {
 	default:
 		return trainLenUnknown
 	}
+}
+
+// WALNextIndex reports the engine-owned log's next append index — the
+// value a replication leader advertises as its high-water mark. 0 for
+// engines without an attached WAL.
+func (e *Engine) WALNextIndex() uint64 {
+	if e.wal == nil {
+		return 0
+	}
+	return e.wal.NextIndex()
+}
+
+// SetWALRetainFloor installs (or, with nil, removes) a truncation floor
+// consulted by Checkpoint: when fn returns (floor, true), WAL segments
+// at or above floor survive truncation even if no kept checkpoint needs
+// them. The replication leader wires this to the minimum index its
+// live followers have acknowledged, so a lagging follower's unfetched
+// tail is never deleted out from under it. fn is called with the
+// checkpoint lock held and must not call back into Checkpoint.
+func (e *Engine) SetWALRetainFloor(fn func() (uint64, bool)) {
+	e.ckptMu.Lock()
+	e.retainFloor = fn
+	e.ckptMu.Unlock()
 }
 
 // startCheckpointer runs Checkpoint on a fixed period until Close.
